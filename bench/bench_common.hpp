@@ -1,0 +1,35 @@
+// Shared helpers for the figure/table reproduction binaries.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tcr/routing/dor.hpp"
+#include "tcr/routing/rlb.hpp"
+#include "tcr/routing/romm.hpp"
+#include "tcr/routing/valiant.hpp"
+#include "tcr/util/cli.hpp"
+#include "tcr/util/table.hpp"
+
+namespace tcr::bench {
+
+/// The six Table-1 algorithms, constructed for a given torus.
+inline std::vector<TorusRouting> table1_algorithms(const Torus& t) {
+  std::vector<TorusRouting> algos;
+  algos.push_back(make_dor(t));
+  algos.push_back(make_romm(t));
+  algos.push_back(make_rlb(t));
+  algos.push_back(make_rlbth(t));
+  algos.push_back(make_valiant(t));
+  algos.push_back(make_ival(t));
+  return algos;
+}
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==========================================================\n"
+            << title << "\n(" << paper_ref << ")\n"
+            << "==========================================================\n";
+}
+
+}  // namespace tcr::bench

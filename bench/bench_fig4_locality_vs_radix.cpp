@@ -1,0 +1,52 @@
+// Figure 4: average path length (normalized to minimal) of worst-case
+// optimal algorithms versus radix k — IVAL (closed form), 2TURN (path LP)
+// and the unrestricted optimum (arc LP, lexicographic). The paper highlights
+// the odd/even oscillation and that 2TURN == optimal at k = 4 and 6.
+//
+// Flags: --kmin (default 3), --kmax (default 8; the LPs grow as O(N^2) rows,
+// raise at your own pace), --skip-optimal, --skip-2turn.
+#include "bench_common.hpp"
+
+#include "tcr/core/design.hpp"
+#include "tcr/core/path_design.hpp"
+#include "tcr/metrics/worst_case.hpp"
+#include "tcr/util/stopwatch.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tcr;
+  const Cli cli(argc, argv);
+  const int kmin = cli.get_int("kmin", 3);
+  const int kmax = cli.get_int("kmax", 8);
+
+  bench::banner("Figure 4: locality of worst-case-optimal algorithms vs radix",
+                "IVAL closed form; 2TURN path LP; optimal arc LP");
+
+  TextTable table({"k", "IVAL", "2TURN", "optimal", "2TURN wc/cap", "time(s)"});
+  for (int k = kmin; k <= kmax; ++k) {
+    const Torus torus(k);
+    Stopwatch sw;
+    const double ival = make_ival(torus).normalized_locality();
+
+    double two_turn = -1.0, two_turn_wc = -1.0;
+    if (!cli.has("skip-2turn")) {
+      const auto res = design_two_turn(torus);
+      if (res.status == lp::Status::Optimal) {
+        two_turn = res.routing.normalized_locality();
+        two_turn_wc = worst_case_capacity_fraction(res.routing);
+      }
+    }
+    double optimal = -1.0;
+    if (!cli.has("skip-optimal")) {
+      const auto res = design_worst_case_optimal(torus);
+      if (res.status == lp::Status::Optimal) optimal = res.locality_norm;
+    }
+    table.add_row_mixed({std::to_string(k)}, {ival, two_turn, optimal, two_turn_wc,
+                                              sw.seconds()});
+    std::cout << "k=" << k << " done\n";
+  }
+  table.print(std::cout);
+  std::cout << "\npaper shape: IVAL settles near 1.64, optimal oscillates around ~1.52\n"
+               "with even radices showing the larger IVAL-vs-optimal gap; 2TURN matches\n"
+               "the optimal exactly at k = 4 and k = 6 and stays within ~0.4% at k = 8.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 6: average-case throughput (fraction of capacity) vs normalized
+// locality on the k-ary 2-cube. The optimal curve solves LP (15) on
+// permutation design samples; the algorithm points (DOR/ROMM/RLB/RLBth/VAL/
+// IVAL plus designed 2TURN / 2TURNA / AVG-OPT) are evaluated on dense
+// doubly-stochastic samples, eq. (9) with |X| = --samples (default 100).
+//
+// Flags: --k (default 8), --points (default 9), --samples (default 100),
+// --design-samples (default 24), --skip-curve, --skip-design.
+#include "bench_common.hpp"
+
+#include "tcr/core/design.hpp"
+#include "tcr/core/path_design.hpp"
+#include "tcr/core/tradeoff.hpp"
+#include "tcr/metrics/average_case.hpp"
+#include "tcr/metrics/worst_case.hpp"
+#include "tcr/traffic/sampler.hpp"
+#include "tcr/util/stopwatch.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tcr;
+  const Cli cli(argc, argv);
+  const int k = cli.get_int("k", 8);
+  const int points = cli.get_int("points", 5);
+  const int eval_count = cli.get_int("samples", 100);
+  const int design_count = cli.get_int("design-samples", 12);
+
+  bench::banner("Figure 6: average-case throughput vs locality, " + std::to_string(k) +
+                    "-ary 2-cube",
+                "curve = LP (15) on permutation samples; points = eq. (9)");
+  const Torus torus(k);
+  Rng rng(606);
+  std::vector<std::vector<int>> design_samples;
+  for (int i = 0; i < design_count; ++i) design_samples.push_back(rng.permutation(torus.num_nodes()));
+  const auto eval_samples = sample_traffic_set(rng, torus.num_nodes(), eval_count, "sinkhorn");
+  const double ideal = torus.ideal_uniform_load();
+
+  if (!cli.has("skip-curve")) {
+    Stopwatch sw;
+    const auto curve =
+        average_case_tradeoff(torus, design_samples, locality_grid(1.0, 2.0, points));
+    std::cout << "curve solved in " << sw.seconds() << " s\n\n";
+    TextTable curve_table({"H_avg/minimal (L)", "optimal Theta_avg/cap", "status"});
+    for (const auto& pt : curve) {
+      curve_table.add_row({TextTable::num(pt.locality, 3),
+                           TextTable::num(pt.capacity_fraction, 4), lp::to_string(pt.status)});
+    }
+    curve_table.print(std::cout);
+  }
+
+  auto algorithms = bench::table1_algorithms(torus);
+  if (!cli.has("skip-design")) {
+    auto two_turn = design_two_turn(torus);
+    if (two_turn.status == lp::Status::Optimal) algorithms.push_back(two_turn.routing);
+    auto two_turn_a = design_two_turn_avg(torus, design_samples);
+    if (two_turn_a.status == lp::Status::Optimal) algorithms.push_back(two_turn_a.routing);
+    auto avg_opt = design_average_case_optimal(torus, design_samples);
+    if (avg_opt.status == lp::Status::Optimal) algorithms.push_back(avg_opt.routing);
+    auto min_avg = design_minimal_avg(torus, design_samples);
+    if (min_avg.status == lp::Status::Optimal) algorithms.push_back(min_avg.routing);
+  }
+
+  std::cout << "\nalgorithm points (dense doubly-stochastic evaluation, |X|=" << eval_count
+            << "):\n";
+  TextTable pts({"algorithm", "H_avg/minimal", "Theta_avg/cap"});
+  for (const auto& r : algorithms) {
+    pts.add_row_mixed({r.name()},
+                      {r.normalized_locality(), ideal * average_case(r, eval_samples).approx_throughput});
+  }
+  pts.print(std::cout);
+  std::cout << "\npaper shape (k=8): max average-case ~0.628 of capacity; VAL at 0.50;\n"
+               "IVAL within ~8.4% and 2TURN within ~6.4% of the maximum; 2TURNA within\n"
+               "~4.6%; the minimal-path average-optimal matches ROMM (§5.4).\n";
+  return 0;
+}

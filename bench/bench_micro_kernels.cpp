@@ -1,0 +1,100 @@
+// Microbenchmarks (google-benchmark) of the library's computational
+// kernels: Hungarian matching, channel-load evaluation, sparse LU
+// factorization, the revised simplex on a capacity LP, and the flit
+// simulator cycle loop.
+#include <benchmark/benchmark.h>
+
+#include "tcr/core/arc_flow.hpp"
+#include "tcr/lin/sparse_lu.hpp"
+#include "tcr/matching/hungarian.hpp"
+#include "tcr/metrics/loads.hpp"
+#include "tcr/metrics/worst_case.hpp"
+#include "tcr/routing/dor.hpp"
+#include "tcr/routing/valiant.hpp"
+#include "tcr/sim/simulator.hpp"
+#include "tcr/traffic/sampler.hpp"
+#include "tcr/util/rng.hpp"
+
+namespace {
+
+using namespace tcr;
+
+void BM_Hungarian(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  DenseMatrix w(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) w(i, j) = rng.uniform(0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_assignment_max(w).value);
+  }
+}
+BENCHMARK(BM_Hungarian)->Arg(16)->Arg(64)->Arg(144);
+
+void BM_WorstCaseExact(benchmark::State& state) {
+  const Torus t(static_cast<int>(state.range(0)));
+  const TorusRouting dor = make_dor(t);
+  dor.load_table();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(worst_case(dor).gamma);
+  }
+}
+BENCHMARK(BM_WorstCaseExact)->Arg(4)->Arg(8);
+
+void BM_ChannelLoadsDense(benchmark::State& state) {
+  const Torus t(static_cast<int>(state.range(0)));
+  const TorusRouting val = make_valiant(t);
+  val.load_table();
+  Rng rng(2);
+  const auto lambda = sinkhorn_sample(rng, t.num_nodes());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max_channel_load(val, lambda));
+  }
+}
+BENCHMARK(BM_ChannelLoadsDense)->Arg(4)->Arg(8);
+
+void BM_SparseLuFactor(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  Rng rng(3);
+  std::vector<Triplet> trips;
+  for (int j = 0; j < m; ++j) {
+    trips.push_back({j, j, 4.0});
+    for (int r = 0; r < 4; ++r)
+      trips.push_back({static_cast<int>(rng.below(m)), j, rng.uniform(-1, 1)});
+  }
+  SparseMatrix a(m, m, trips);
+  std::vector<int> basis(m);
+  for (int j = 0; j < m; ++j) basis[j] = j;
+  for (auto _ : state) {
+    SparseLU lu;
+    benchmark::DoNotOptimize(lu.factor(a, basis));
+  }
+}
+BENCHMARK(BM_SparseLuFactor)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_CapacityLP(benchmark::State& state) {
+  const Torus t(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    SymmetricDesignConfig cfg;
+    cfg.objective = DesignObjective::Uniform;
+    SymmetricArcDesign design(t, cfg);
+    benchmark::DoNotOptimize(design.solve().objective);
+  }
+}
+BENCHMARK(BM_CapacityLP)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorCycles(benchmark::State& state) {
+  const Torus t(4);
+  const TorusRouting dor = make_dor(t);
+  SimConfig cfg;
+  cfg.vcs = 2;
+  cfg.warmup_cycles = 0;
+  cfg.measure_cycles = static_cast<int>(state.range(0));
+  cfg.drain_cycles = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate(dor, 0.3, {}, cfg).accepted_rate);
+  }
+}
+BENCHMARK(BM_SimulatorCycles)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,65 @@
+// Table 1 + the numeric points plotted in Figures 1 and 6: for every
+// algorithm the paper discusses (DOR, ROMM, RLB, RLBth, VAL, IVAL, plus the
+// LP-designed 2TURN / 2TURNA), print normalized average path length,
+// worst-case throughput and average-case throughput as fractions of
+// capacity.
+//
+// Flags: --k <radix> (default 8), --samples <n> eval traffic samples
+// (default 100), --design-samples <n> permutations inside the 2TURNA LP
+// (default 32), --skip-design (skip the LP-designed algorithms).
+#include "bench_common.hpp"
+
+#include "tcr/core/path_design.hpp"
+#include "tcr/metrics/average_case.hpp"
+#include "tcr/metrics/worst_case.hpp"
+#include "tcr/traffic/sampler.hpp"
+#include "tcr/util/stopwatch.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tcr;
+  const Cli cli(argc, argv);
+  const int k = cli.get_int("k", 8);
+  const int eval_samples = cli.get_int("samples", 100);
+  const int design_samples = cli.get_int("design-samples", 16);
+
+  bench::banner("Table 1 / Figure 1 & 6 algorithm points — " + std::to_string(k) +
+                    "-ary 2-cube",
+                "Towles, Dally & Boyd, SPAA'03");
+
+  const Torus torus(k);
+  Rng rng(20030607);
+  const auto eval_set = sample_traffic_set(rng, torus.num_nodes(), eval_samples, "sinkhorn");
+
+  auto algorithms = bench::table1_algorithms(torus);
+  if (!cli.has("skip-design")) {
+    Stopwatch sw;
+    std::cout << "solving 2TURN design LP (worst-case, lexicographic)...\n";
+    auto two_turn = design_two_turn(torus);
+    std::cout << "  " << lp::to_string(two_turn.status) << " in " << sw.seconds() << " s\n";
+    if (two_turn.status == lp::Status::Optimal) algorithms.push_back(two_turn.routing);
+
+    std::vector<std::vector<int>> perms;
+    for (int i = 0; i < design_samples; ++i) perms.push_back(rng.permutation(torus.num_nodes()));
+    sw.reset();
+    std::cout << "solving 2TURNA design LP (average-case, |X|=" << design_samples << ")...\n";
+    auto two_turn_a = design_two_turn_avg(torus, perms);
+    std::cout << "  " << lp::to_string(two_turn_a.status) << " in " << sw.seconds() << " s\n";
+    if (two_turn_a.status == lp::Status::Optimal) algorithms.push_back(two_turn_a.routing);
+  }
+
+  TextTable table({"algorithm", "H_avg/minimal", "Theta_wc/cap", "Theta_avg/cap (approx)",
+                   "Theta_avg/cap (true mean)"});
+  for (const auto& r : algorithms) {
+    r.validate();
+    const auto avg = average_case(r, eval_set);
+    const double ideal = torus.ideal_uniform_load();
+    table.add_row_mixed({r.name()},
+                        {r.normalized_locality(), worst_case_capacity_fraction(r),
+                         ideal * avg.approx_throughput, ideal * avg.true_throughput});
+  }
+  table.print(std::cout);
+  std::cout << "\npaper reference points (8-ary 2-cube): VAL locality 2.0 & wc 0.50;"
+               "\nIVAL locality ~1.61 & wc 0.50; 2TURN locality ~1.48 & wc 0.50;"
+               "\nmax average-case throughput ~0.628 of capacity (Fig. 6).\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Adversarial traffic analysis: for each algorithm, find the exact
+// worst-case permutation (Hungarian matching per channel, paper ref. [11])
+// and compare it with the named adversaries from the literature.
+//
+//   ./example_adversarial_traffic [--k 8]
+#include <iostream>
+
+#include "tcr/metrics/loads.hpp"
+#include "tcr/metrics/worst_case.hpp"
+#include "tcr/routing/dor.hpp"
+#include "tcr/routing/rlb.hpp"
+#include "tcr/routing/romm.hpp"
+#include "tcr/routing/valiant.hpp"
+#include "tcr/traffic/patterns.hpp"
+#include "tcr/util/cli.hpp"
+#include "tcr/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tcr;
+  const Cli cli(argc, argv);
+  const Torus torus(cli.get_int("k", 8));
+  const double ideal = torus.ideal_uniform_load();
+
+  TextTable table({"algorithm", "uniform", "transpose", "tornado", "complement",
+                   "exact worst case"});
+  std::vector<TorusRouting> algos;
+  algos.push_back(make_dor(torus));
+  algos.push_back(make_romm(torus));
+  algos.push_back(make_rlb(torus));
+  algos.push_back(make_valiant(torus));
+  algos.push_back(make_ival(torus));
+
+  for (const auto& r : algos) {
+    std::vector<double> cells;
+    cells.push_back(ideal / uniform_max_load(r));
+    for (const char* name : {"transpose", "tornado", "complement"}) {
+      cells.push_back(ideal / max_channel_load(r, named_permutation(torus, name)));
+    }
+    cells.push_back(worst_case_capacity_fraction(r));
+    table.add_row_mixed({r.name()}, cells);
+  }
+  std::cout << "throughput as a fraction of capacity under each traffic pattern\n"
+            << "(higher is better; 'exact worst case' minimizes over ALL permutations):\n\n";
+  table.print(std::cout);
+
+  // Show what the adversary actually looks like for DOR.
+  const TorusRouting dor = make_dor(torus);
+  const auto wc = worst_case(dor);
+  std::cout << "\nDOR adversarial permutation (first 8 assignments):\n";
+  for (int s = 0; s < std::min(8, torus.num_nodes()); ++s) {
+    std::cout << "  (" << torus.x_of(s) << "," << torus.y_of(s) << ") -> ("
+              << torus.x_of(wc.permutation[s]) << "," << torus.y_of(wc.permutation[s]) << ")\n";
+  }
+  std::cout << "note how named patterns are close to — but not exactly — the optimum\n"
+               "adversary the matching finds.\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Drive the flit-level simulator: sweep the offered load for DOR and IVAL
+// under uniform traffic and print offered vs accepted throughput and average
+// latency — the classic load-latency curve, with the analytic saturation
+// bound marked.
+//
+//   ./example_simulate_saturation [--k 4] [--points 8] [--cycles 3000]
+#include <iostream>
+
+#include "tcr/metrics/loads.hpp"
+#include "tcr/routing/dor.hpp"
+#include "tcr/routing/valiant.hpp"
+#include "tcr/sim/simulator.hpp"
+#include "tcr/util/cli.hpp"
+#include "tcr/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tcr;
+  const Cli cli(argc, argv);
+  const Torus torus(cli.get_int("k", 4));
+  const int points = cli.get_int("points", 8);
+
+  SimConfig cfg;
+  cfg.warmup_cycles = cli.get_int("cycles", 3000) / 3;
+  cfg.measure_cycles = cli.get_int("cycles", 3000);
+  cfg.drain_cycles = 0;
+
+  for (auto make : {make_dor, make_ival}) {
+    const TorusRouting r = make(torus);
+    const double bound = std::min(1.0, 1.0 / uniform_max_load(r));
+    std::cout << "\n" << r.name() << " under uniform traffic (analytic saturation at "
+              << TextTable::num(bound, 3) << " packets/node/cycle):\n";
+    TextTable table({"offered", "accepted", "avg latency", "deadlock"});
+    for (int i = 1; i <= points; ++i) {
+      const double rate = bound * 1.2 * i / points;
+      const auto stats = simulate(r, std::min(rate, 1.0), {}, cfg);
+      table.add_row({TextTable::num(std::min(rate, 1.0), 3),
+                     TextTable::num(stats.accepted_rate, 3),
+                     TextTable::num(stats.avg_latency, 1), stats.deadlocked ? "YES" : "no"});
+    }
+    table.print(std::cout);
+  }
+  std::cout << "\naccepted throughput tracks offered load below saturation, then flattens\n"
+               "near the analytic bound; latency blows up at the knee. No deadlocks —\n"
+               "the VC assignment implements the paper's dateline + turn discipline.\n";
+  return 0;
+}

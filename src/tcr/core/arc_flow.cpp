@@ -1,0 +1,407 @@
+#include "tcr/core/arc_flow.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "tcr/graph/symmetry.hpp"
+#include "tcr/util/check.hpp"
+
+namespace tcr {
+
+using lp::Model;
+using lp::RowType;
+
+SymmetricArcDesign::SymmetricArcDesign(const Torus& torus, SymmetricDesignConfig config)
+    : torus_(torus), config_(std::move(config)) {
+  build();
+}
+
+void SymmetricArcDesign::build() {
+  const int n = torus_.num_nodes();
+  const bool min_locality = config_.objective == DesignObjective::Locality;
+
+  build_orbits();
+  for (int v = 0; v < num_flow_vars_; ++v) {
+    model_.add_col(0.0, lp::kInf, min_locality ? orbit_size_[v] / n : 0.0);
+  }
+
+  add_flow_conservation();
+
+  const bool want_wc = config_.objective == DesignObjective::WorstCase ||
+                       config_.worst_case_cap >= 0.0;
+  const bool want_uni = config_.objective == DesignObjective::Uniform ||
+                        config_.uniform_cap >= 0.0;
+  const bool want_avg = config_.objective == DesignObjective::AverageCase ||
+                        config_.average_cap >= 0.0;
+  if (want_wc) add_worst_case_block();
+  if (want_uni) add_uniform_block();
+  if (want_avg) add_average_block();
+  if (config_.locality_equals >= 0.0) add_locality_row();
+}
+
+void SymmetricArcDesign::build_orbits() {
+  const int n = torus_.num_nodes(), nc = torus_.num_channels();
+  var_of_.assign(static_cast<std::size_t>(n - 1) * nc, -1);
+  orbit_size_.clear();
+  dir_count_.clear();
+  rep_commodities_.clear();
+  num_flow_vars_ = 0;
+
+  if (!config_.fold_dihedral) {
+    for (int e = 1; e < n; ++e) {
+      rep_commodities_.push_back(e);
+      for (int c = 0; c < nc; ++c) {
+        var_of_[(e - 1) * nc + c] = num_flow_vars_++;
+        orbit_size_.push_back(1.0);
+        std::array<double, 4> dc{0, 0, 0, 0};
+        dc[c % kNumDirs] = 1.0;
+        dir_count_.push_back(dc);
+      }
+    }
+    return;
+  }
+
+  const TorusSymmetry sym(torus_);
+  for (int e = 1; e < n; ++e) {
+    if (sym.node_rep(e) == e) rep_commodities_.push_back(e);
+  }
+  for (int e = 1; e < n; ++e) {
+    for (int c = 0; c < nc; ++c) {
+      if (var_of_[(e - 1) * nc + c] >= 0) continue;
+      const int v = num_flow_vars_++;
+      orbit_size_.push_back(0.0);
+      dir_count_.push_back({0, 0, 0, 0});
+      // Walk the orbit, assigning every distinct member to this variable.
+      for (int g = 0; g < TorusSymmetry::kOrder; ++g) {
+        const int eg = sym.map_node(g, e);
+        const int cg = sym.map_channel(g, c);
+        auto& slot = var_of_[(eg - 1) * nc + cg];
+        if (slot < 0) {
+          slot = v;
+          orbit_size_[v] += 1.0;
+          dir_count_[v][cg % kNumDirs] += 1.0;
+        }
+      }
+    }
+  }
+}
+
+void SymmetricArcDesign::add_flow_conservation() {
+  const int n = torus_.num_nodes();
+  for (int e : rep_commodities_) {
+    for (int nd = 0; nd < n; ++nd) {
+      const double rhs = (nd == e) ? 1.0 : (nd == 0 ? -1.0 : 0.0);
+      const int row = model_.add_row(RowType::EQ, rhs);
+      for (int dir = 0; dir < kNumDirs; ++dir) {
+        const Dir d = static_cast<Dir>(dir);
+        // Out-channel of nd in direction d.
+        model_.add_term(row, flow_var(e, torus_.channel(nd, d)), -1.0);
+        // In-channel: the same-direction channel of the opposite neighbor.
+        const Dir opp = static_cast<Dir>(dir ^ 1);  // PX<->NX, PY<->NY
+        model_.add_term(row, flow_var(e, torus_.channel(torus_.neighbor(nd, opp), d)), 1.0);
+      }
+    }
+  }
+}
+
+void SymmetricArcDesign::add_worst_case_block() {
+  const int n = torus_.num_nodes();
+  const bool is_obj = config_.objective == DesignObjective::WorstCase;
+  const double w_up = config_.worst_case_cap >= 0.0 ? config_.worst_case_cap : lp::kInf;
+  wc_var_ = model_.add_col(0.0, w_up, is_obj ? 1.0 : 0.0);
+
+  if (!config_.worst_case_exact_block) {
+    // Cutting-plane relaxation: one row per known adversarial permutation,
+    // gamma_{c0}(R, pi) <= w on the representative channel (+X at node 0;
+    // folding makes the classes equivalent — require it).
+    TCR_REQUIRE(config_.fold_dihedral,
+                "cut-based worst case requires the dihedral fold (one rep channel)");
+    TCR_REQUIRE(!config_.cut_permutations.empty(),
+                "cut-based worst case needs at least one permutation");
+    const int c0 = torus_.channel(0, Dir::PX);
+    for (const auto& perm : config_.cut_permutations) {
+      const int row = model_.add_row(RowType::LE, 0.0);
+      for (int s = 0; s < n; ++s) {
+        const int e = torus_.offset(s, perm[s]);
+        if (e == 0) continue;
+        model_.add_term(row, flow_var(e, torus_.translate_channel(c0, torus_.negate_node(s))),
+                        1.0);
+      }
+      model_.add_term(row, wc_var_, -1.0);
+    }
+    return;
+  }
+
+  // With the dihedral fold the four direction classes are equivalent, so a
+  // single representative channel suffices; otherwise one per class.
+  const int num_blocks = config_.fold_dihedral ? 1 : kNumDirs;
+  for (int dir = 0; dir < num_blocks; ++dir) {
+    const int c0 = torus_.channel(0, static_cast<Dir>(dir));
+    std::vector<int> u(n), v(n);
+    // Ground the potentials' constant-shift null direction: u[0] = 0.
+    for (int s = 0; s < n; ++s)
+      u[s] = (s == 0) ? model_.add_col(0.0, 0.0, 0.0) : model_.add_col(-lp::kInf, lp::kInf, 0.0);
+    for (int d = 0; d < n; ++d) v[d] = model_.add_col(-lp::kInf, lp::kInf, 0.0);
+
+    for (int s = 0; s < n; ++s) {
+      // Channel whose canonical load equals the load of (s, *) on c0.
+      const int ct = torus_.translate_channel(c0, torus_.negate_node(s));
+      for (int d = 0; d < n; ++d) {
+        const int row = model_.add_row(RowType::LE, 0.0);
+        const int e = torus_.offset(s, d);
+        if (e != 0) model_.add_term(row, flow_var(e, ct), 1.0);
+        model_.add_term(row, v[d], -1.0);
+        model_.add_term(row, u[s], 1.0);
+      }
+    }
+    const int sum_row = model_.add_row(RowType::EQ, 0.0);
+    for (int d = 0; d < n; ++d) model_.add_term(sum_row, v[d], 1.0);
+    for (int s = 0; s < n; ++s) model_.add_term(sum_row, u[s], -1.0);
+    model_.add_term(sum_row, wc_var_, -1.0);  // b_c = 1
+  }
+}
+
+void SymmetricArcDesign::add_uniform_block() {
+  const int n = torus_.num_nodes(), nc = torus_.num_channels();
+  const bool is_obj = config_.objective == DesignObjective::Uniform;
+  const double up = config_.uniform_cap >= 0.0 ? config_.uniform_cap : lp::kInf;
+  uni_var_ = model_.add_col(0.0, up, is_obj ? 1.0 : 0.0);
+
+  const int num_blocks = config_.fold_dihedral ? 1 : kNumDirs;
+  for (int dir = 0; dir < num_blocks; ++dir) {
+    const int row = model_.add_row(RowType::LE, 0.0);
+    for (int v = 0; v < num_flow_vars_; ++v) {
+      if (dir_count_[v][dir] != 0.0) model_.add_term(row, v, dir_count_[v][dir]);
+    }
+    model_.add_term(row, uni_var_, -static_cast<double>(n));
+  }
+  (void)nc;
+}
+
+void SymmetricArcDesign::add_average_block() {
+  TCR_REQUIRE(!config_.samples.empty(),
+              "average-case design needs permutation traffic samples");
+  const int n = torus_.num_nodes(), nc = torus_.num_channels();
+  const bool is_obj = config_.objective == DesignObjective::AverageCase;
+  const double per = 1.0 / static_cast<double>(config_.samples.size());
+
+  avg_vars_.clear();
+  for (std::size_t i = 0; i < config_.samples.size(); ++i) {
+    avg_vars_.push_back(model_.add_col(0.0, lp::kInf, is_obj ? per : 0.0));
+  }
+  for (std::size_t i = 0; i < config_.samples.size(); ++i) {
+    const auto& perm = config_.samples[i];
+    TCR_REQUIRE(static_cast<int>(perm.size()) == n, "sample permutation size mismatch");
+    for (int c = 0; c < nc; ++c) {
+      const int row = model_.add_row(RowType::LE, 0.0);
+      for (int s = 0; s < n; ++s) {
+        const int e = torus_.offset(s, perm[s]);
+        if (e == 0) continue;
+        model_.add_term(row, flow_var(e, torus_.translate_channel(c, torus_.negate_node(s))),
+                        1.0);
+      }
+      model_.add_term(row, avg_vars_[i], -1.0);
+    }
+  }
+  if (config_.average_cap >= 0.0) {
+    const int row = model_.add_row(RowType::LE, config_.average_cap);
+    for (int var : avg_vars_) model_.add_term(row, var, per);
+  }
+}
+
+void SymmetricArcDesign::add_locality_row() {
+  const int n = torus_.num_nodes(), nc = torus_.num_channels();
+  const int row = model_.add_row(config_.locality_le ? RowType::LE : RowType::EQ,
+                                 config_.locality_equals * n);
+  for (int e = 1; e < n; ++e) {
+    for (int c = 0; c < nc; ++c) model_.add_term(row, flow_var(e, c), 1.0);
+  }
+}
+
+DesignResult SymmetricArcDesign::solve(const lp::SimplexOptions& opts) {
+  const lp::Solution sol = lp::solve(model_, opts);
+  DesignResult res;
+  res.status = sol.status;
+  res.iterations = sol.iterations;
+  if (sol.status != lp::Status::Optimal) return res;
+  res.objective = sol.objective;
+  const int n = torus_.num_nodes(), nc = torus_.num_channels();
+  solution_flows_.resize(static_cast<std::size_t>(n - 1) * nc);
+  double total = 0.0;
+  for (int e = 1; e < n; ++e) {
+    for (int c = 0; c < nc; ++c) {
+      const double f = sol.x[flow_var(e, c)];
+      solution_flows_[(e - 1) * nc + c] = f;
+      total += f;
+    }
+  }
+  res.avg_hops = total / n;
+  return res;
+}
+
+TorusRouting SymmetricArcDesign::routing(const std::string& name) const {
+  TCR_REQUIRE(!solution_flows_.empty(), "no stored solution; call solve() first");
+  const int n = torus_.num_nodes(), nc = torus_.num_channels();
+  TorusRouting r(torus_, name);
+  for (int e = 1; e < n; ++e) {
+    std::vector<double> flow(solution_flows_.begin() + (e - 1) * nc,
+                             solution_flows_.begin() + e * nc);
+    for (auto& wp : decompose_flow(torus_, e, std::move(flow))) {
+      r.add_path(e, std::move(wp.path), wp.weight);
+    }
+  }
+  r.normalize();
+  return r;
+}
+
+std::vector<WeightedPath> decompose_flow(const Torus& torus, int e, std::vector<double> flow,
+                                         double eps) {
+  TCR_REQUIRE(e != 0, "offset must be nonzero");
+  std::vector<WeightedPath> out;
+  const int n = torus.num_nodes();
+  std::vector<int> pred(static_cast<std::size_t>(n));
+
+  for (;;) {
+    // BFS from 0 to e along channels with remaining flow.
+    std::fill(pred.begin(), pred.end(), -1);
+    std::queue<int> q;
+    q.push(0);
+    pred[0] = -2;
+    while (!q.empty() && pred[e] == -1) {
+      const int nd = q.front();
+      q.pop();
+      for (int dir = 0; dir < kNumDirs; ++dir) {
+        const int c = torus.channel(nd, static_cast<Dir>(dir));
+        if (flow[c] <= eps) continue;
+        const int to = torus.channel_dst(c);
+        if (pred[to] == -1) {
+          pred[to] = c;
+          q.push(to);
+        }
+      }
+    }
+    if (pred[e] == -1) break;
+
+    // Recover the path and the bottleneck flow.
+    std::vector<int> channels;
+    double delta = lp::kInf;
+    for (int nd = e; nd != 0;) {
+      const int c = pred[nd];
+      channels.push_back(c);
+      delta = std::min(delta, flow[c]);
+      nd = torus.channel_src(c);
+    }
+    std::reverse(channels.begin(), channels.end());
+    for (int c : channels) flow[c] -= delta;
+
+    Path p;
+    p.src = 0;
+    p.dst = e;
+    p.channels = std::move(channels);
+    out.push_back({std::move(p), delta});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// General (unreduced) formulations.
+
+namespace {
+
+struct GeneralVars {
+  int n = 0, nc = 0;
+  int pair_stride = 0;
+  int flow_var(int s, int d, int c) const { return (s * n + d) * nc + c; }
+};
+
+void add_general_flows(const Digraph& g, Model& model, GeneralVars& vars) {
+  vars.n = g.num_nodes();
+  vars.nc = g.num_channels();
+  for (int s = 0; s < vars.n; ++s) {
+    for (int d = 0; d < vars.n; ++d) {
+      for (int c = 0; c < vars.nc; ++c) {
+        model.add_col(0.0, (s == d) ? 0.0 : lp::kInf, 0.0);
+      }
+    }
+  }
+  for (int s = 0; s < vars.n; ++s) {
+    for (int d = 0; d < vars.n; ++d) {
+      if (s == d) continue;
+      for (int nd = 0; nd < vars.n; ++nd) {
+        const double rhs = (nd == d) ? 1.0 : (nd == s ? -1.0 : 0.0);
+        const int row = model.add_row(RowType::EQ, rhs);
+        for (int c : g.in_channels(nd)) model.add_term(row, vars.flow_var(s, d, c), 1.0);
+        for (int c : g.out_channels(nd)) model.add_term(row, vars.flow_var(s, d, c), -1.0);
+      }
+    }
+  }
+}
+
+void extract_general(const GeneralVars& vars, const lp::Solution& sol,
+                     GeneralDesignResult& res) {
+  res.flows.assign(vars.n * vars.n, std::vector<double>(vars.nc, 0.0));
+  for (int s = 0; s < vars.n; ++s)
+    for (int d = 0; d < vars.n; ++d)
+      for (int c = 0; c < vars.nc; ++c)
+        res.flows[s * vars.n + d][c] = sol.x[vars.flow_var(s, d, c)];
+}
+
+}  // namespace
+
+GeneralDesignResult general_capacity_design(const Digraph& g, const lp::SimplexOptions& opts) {
+  Model model;
+  GeneralVars vars;
+  add_general_flows(g, model, vars);
+  const int w = model.add_col(0.0, lp::kInf, 1.0);
+  for (int c = 0; c < vars.nc; ++c) {
+    const int row = model.add_row(RowType::LE, 0.0);
+    for (int s = 0; s < vars.n; ++s) {
+      for (int d = 0; d < vars.n; ++d) {
+        if (s != d) model.add_term(row, vars.flow_var(s, d, c), 1.0 / vars.n);
+      }
+    }
+    model.add_term(row, w, -g.channel(c).bandwidth);
+  }
+  const lp::Solution sol = lp::solve(model, opts);
+  GeneralDesignResult res;
+  res.status = sol.status;
+  if (sol.status != lp::Status::Optimal) return res;
+  res.objective = sol.objective;
+  extract_general(vars, sol, res);
+  return res;
+}
+
+GeneralDesignResult general_worst_case_design(const Digraph& g, const lp::SimplexOptions& opts) {
+  Model model;
+  GeneralVars vars;
+  add_general_flows(g, model, vars);
+  const int w = model.add_col(0.0, lp::kInf, 1.0);
+  for (int c = 0; c < vars.nc; ++c) {
+    std::vector<int> u(vars.n), v(vars.n);
+    for (int s = 0; s < vars.n; ++s)
+      u[s] = (s == 0) ? model.add_col(0.0, 0.0, 0.0) : model.add_col(-lp::kInf, lp::kInf, 0.0);
+    for (int d = 0; d < vars.n; ++d) v[d] = model.add_col(-lp::kInf, lp::kInf, 0.0);
+    for (int s = 0; s < vars.n; ++s) {
+      for (int d = 0; d < vars.n; ++d) {
+        const int row = model.add_row(RowType::LE, 0.0);
+        if (s != d) model.add_term(row, vars.flow_var(s, d, c), 1.0);
+        model.add_term(row, v[d], -1.0);
+        model.add_term(row, u[s], 1.0);
+      }
+    }
+    const int sum_row = model.add_row(RowType::EQ, 0.0);
+    for (int d = 0; d < vars.n; ++d) model.add_term(sum_row, v[d], 1.0);
+    for (int s = 0; s < vars.n; ++s) model.add_term(sum_row, u[s], -1.0);
+    model.add_term(sum_row, w, -g.channel(c).bandwidth);
+  }
+  const lp::Solution sol = lp::solve(model, opts);
+  GeneralDesignResult res;
+  res.status = sol.status;
+  if (sol.status != lp::Status::Optimal) return res;
+  res.objective = sol.objective;
+  extract_general(vars, sol, res);
+  return res;
+}
+
+}  // namespace tcr

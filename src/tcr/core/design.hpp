@@ -1,0 +1,63 @@
+// High-level routing-design entry points (paper §5): lexicographic solves
+// that first optimize a throughput objective and then recover the best
+// locality at that optimum — the procedure behind the "optimal" curves and
+// points of Figures 1, 4 and 6.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tcr/core/arc_flow.hpp"
+
+namespace tcr {
+
+struct OptimalDesign {
+  lp::Status status = lp::Status::Numerical;
+  double objective = 0.0;       // optimal gamma (worst-case / uniform / mean)
+  double avg_hops = 0.0;        // best H_avg (hops) at that optimum
+  double locality_norm = 0.0;   // avg_hops / mean minimal distance
+  TorusRouting routing;
+};
+
+/// Network capacity via LP (problem (6)): minimal uniform max channel load.
+/// Must equal Torus::ideal_uniform_load().
+double capacity_design_load(const Torus& torus, const lp::SimplexOptions& opts = {});
+
+/// Worst-case-optimal routing with maximal locality (lexicographic: min
+/// gamma_wc, then min H_avg subject to gamma_wc <= optimum). The "optimal"
+/// series of Figure 4.
+OptimalDesign design_worst_case_optimal(const Torus& torus, const lp::SimplexOptions& opts = {});
+
+/// Average-case-optimal routing with maximal locality (Figure 6's maximum
+/// average-case throughput point).
+OptimalDesign design_average_case_optimal(const Torus& torus,
+                                          const std::vector<std::vector<int>>& samples,
+                                          const lp::SimplexOptions& opts = {});
+
+/// Relative tolerance used when re-imposing a stage-one optimum as a cap in
+/// the lexicographic second stage.
+inline constexpr double kLexicographicSlack = 1e-6;
+
+// ---- Cutting-plane worst-case design ----------------------------------
+//
+// The Appendix observes that selecting adversarial permutations gives
+// approximations to the worst-case design problem. With an *exact*
+// separation oracle — the Hungarian matching of [11] applied to the current
+// flows — the idea becomes an exact method: solve min w subject to
+// gamma(R, pi) <= w for a growing set of permutations, add the most-violated
+// permutation each round, stop when the matching value meets w. Usually
+// needs only tens of permutations instead of LP (8)'s N^2 dual rows.
+
+struct CuttingPlaneResult {
+  lp::Status status = lp::Status::Numerical;
+  double objective = 0.0;  // gamma_wc at convergence
+  int rounds = 0;
+  long total_iterations = 0;
+  std::vector<std::vector<int>> cuts;  // permutations generated
+};
+
+CuttingPlaneResult design_worst_case_cutting_plane(const Torus& torus,
+                                                   const lp::SimplexOptions& opts = {},
+                                                   int max_rounds = 80, double tol = 1e-6);
+
+}  // namespace tcr

@@ -1,0 +1,83 @@
+#include "tcr/core/dual.hpp"
+
+#include "tcr/util/check.hpp"
+
+namespace tcr {
+
+using lp::Model;
+using lp::RowType;
+
+DualDesignResult dual_worst_case_design(const Torus& torus, const PathFamily& family,
+                                        const lp::SimplexOptions& opts) {
+  const int n = torus.num_nodes(), nc = torus.num_channels();
+  Model model;
+  model.set_sense(lp::Sense::Maximize);
+
+  // q_{s,d} (free): the per-pair value sum_{sd} q_{sd} = gamma_wc at the
+  // optimum. The paper's r_{s,d} is -q_{s,d}.
+  std::vector<int> q(n * n);
+  for (int i = 0; i < n * n; ++i) q[i] = model.add_col(-lp::kInf, lp::kInf, 1.0);
+  // a^c_{s,d} >= 0 and the per-channel weights phi_c >= 0.
+  std::vector<int> a(static_cast<std::size_t>(nc) * n * n);
+  for (auto& col : a) col = model.add_col(0.0, lp::kInf, 0.0);
+  std::vector<int> phi(nc);
+  for (auto& col : phi) col = model.add_col(0.0, lp::kInf, 0.0);
+  auto a_var = [&](int c, int s, int d) { return a[(static_cast<std::size_t>(c) * n + s) * n + d]; };
+
+  // One row per pair and candidate path: q_{sd} <= sum_{c in p} a^c_{sd}.
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      const int e = torus.offset(s, d);
+      if (e == 0) {
+        // Self pairs carry the empty path: q_{ss} <= 0.
+        model.add_row(RowType::LE, 0.0, {{q[s * n + d], 1.0}});
+        continue;
+      }
+      for (const Path& p : family(torus, e)) {
+        const int row = model.add_row(RowType::LE, 0.0);
+        model.add_term(row, q[s * n + d], 1.0);
+        for (int c : p.channels) {
+          model.add_term(row, a_var(torus.translate_channel(c, s), s, d), -1.0);
+        }
+      }
+    }
+  }
+
+  // A^c has all row and column sums equal to phi_c (Birkhoff blend).
+  for (int c = 0; c < nc; ++c) {
+    for (int s = 0; s < n; ++s) {
+      const int row = model.add_row(RowType::EQ, 0.0);
+      for (int d = 0; d < n; ++d) model.add_term(row, a_var(c, s, d), 1.0);
+      model.add_term(row, phi[c], -1.0);
+    }
+    for (int d = 0; d < n; ++d) {
+      const int row = model.add_row(RowType::EQ, 0.0);
+      for (int s = 0; s < n; ++s) model.add_term(row, a_var(c, s, d), 1.0);
+      model.add_term(row, phi[c], -1.0);
+    }
+  }
+
+  // Unit total adversary weight: sum_c b_c phi_c = 1 (torus: b_c = 1).
+  {
+    const int row = model.add_row(RowType::EQ, 1.0);
+    for (int c = 0; c < nc; ++c) model.add_term(row, phi[c], 1.0);
+  }
+
+  const lp::Solution sol = lp::solve(model, opts);
+  DualDesignResult res;
+  res.status = sol.status;
+  if (sol.status != lp::Status::Optimal) return res;
+  res.objective = sol.objective;
+  res.phi.resize(nc);
+  for (int c = 0; c < nc; ++c) res.phi[c] = sol.x[phi[c]];
+  res.adversary.reserve(nc);
+  for (int c = 0; c < nc; ++c) {
+    DenseMatrix m(n, n);
+    for (int s = 0; s < n; ++s)
+      for (int d = 0; d < n; ++d) m(s, d) = sol.x[a_var(c, s, d)];
+    res.adversary.push_back(std::move(m));
+  }
+  return res;
+}
+
+}  // namespace tcr

@@ -1,0 +1,39 @@
+// The paper's Appendix: the Lagrange dual (19) of the worst-case routing
+// design problem. Instead of choosing path probabilities, the dual selects,
+// for every channel c, a nonnegative matrix A^c with equal row and column
+// sums phi_c — by Birkhoff's theorem a phi_c-weighted blend of permutation
+// traffic patterns — with the total weight sum_c phi_c = 1:
+//
+//   maximize    -sum_{s,d} r_{s,d}
+//   subject to  r_{s,d} + sum_{c in p} a^c_{s,d} / b_c >= 0   for all p in P_{s,d}
+//               sum_s a^c_{s,d} = phi_c,  sum_d a^c_{s,d} = phi_c
+//               sum_c phi_c = 1,          a >= 0.
+//
+// Strong duality makes its optimum equal gamma_wc of the primal design over
+// the same path family; the A matrices are a *certificate*: the adversarial
+// permutation blends that saturate the optimal routing. The constraint set
+// has one row per candidate path, so this is practical exactly when the
+// path family is explicit (2TURN / minimal families, small tori) — which is
+// also how the paper frames its use (a source of approximation heuristics).
+#pragma once
+
+#include <vector>
+
+#include "tcr/core/path_design.hpp"
+#include "tcr/graph/torus.hpp"
+#include "tcr/lp/simplex.hpp"
+
+namespace tcr {
+
+struct DualDesignResult {
+  lp::Status status = lp::Status::Numerical;
+  double objective = 0.0;          // equals gamma_wc of the primal design
+  std::vector<double> phi;         // per-channel adversary weight phi_c
+  std::vector<DenseMatrix> adversary;  // A^c (phi_c-scaled doubly stochastic)
+};
+
+/// Solve dual (19) over an explicit path family on the torus.
+DualDesignResult dual_worst_case_design(const Torus& torus, const PathFamily& family,
+                                        const lp::SimplexOptions& opts = {});
+
+}  // namespace tcr

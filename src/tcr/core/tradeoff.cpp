@@ -1,0 +1,65 @@
+#include "tcr/core/tradeoff.hpp"
+
+#include "tcr/util/check.hpp"
+
+namespace tcr {
+
+namespace {
+
+std::vector<TradeoffPoint> sweep(const Torus& torus, DesignObjective objective,
+                                 const std::vector<std::vector<int>>& samples,
+                                 const std::vector<double>& localities,
+                                 const lp::SimplexOptions& opts, ThreadPool* pool) {
+  const double hmin = torus.mean_min_distance();
+  const double ideal = torus.ideal_uniform_load();
+  std::vector<TradeoffPoint> out(localities.size());
+
+  auto run_point = [&](int i) {
+    SymmetricDesignConfig cfg;
+    cfg.objective = objective;
+    cfg.samples = samples;
+    cfg.locality_equals = localities[i] * hmin;
+    cfg.locality_le = true;  // Pareto frontier: best throughput with at most L
+    SymmetricArcDesign design(torus, cfg);
+    const DesignResult res = design.solve(opts);
+    out[i].locality = localities[i];
+    out[i].status = res.status;
+    if (res.status == lp::Status::Optimal && res.objective > 0.0) {
+      out[i].capacity_fraction = ideal / res.objective;
+    }
+  };
+
+  const int n = static_cast<int>(localities.size());
+  if (pool != nullptr && pool->size() > 1) {
+    ThreadPool::parallel_for(*pool, n, run_point);
+  } else {
+    for (int i = 0; i < n; ++i) run_point(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<TradeoffPoint> worst_case_tradeoff(const Torus& torus,
+                                               const std::vector<double>& localities,
+                                               const lp::SimplexOptions& opts,
+                                               ThreadPool* pool) {
+  return sweep(torus, DesignObjective::WorstCase, {}, localities, opts, pool);
+}
+
+std::vector<TradeoffPoint> average_case_tradeoff(const Torus& torus,
+                                                 const std::vector<std::vector<int>>& samples,
+                                                 const std::vector<double>& localities,
+                                                 const lp::SimplexOptions& opts,
+                                                 ThreadPool* pool) {
+  return sweep(torus, DesignObjective::AverageCase, samples, localities, opts, pool);
+}
+
+std::vector<double> locality_grid(double lo, double hi, int n) {
+  TCR_REQUIRE(n >= 2 && lo <= hi, "grid needs n >= 2 and lo <= hi");
+  std::vector<double> g(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) g[i] = lo + (hi - lo) * i / (n - 1);
+  return g;
+}
+
+}  // namespace tcr

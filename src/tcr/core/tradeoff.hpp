@@ -1,0 +1,38 @@
+// Locality-vs-throughput tradeoff sweeps (paper Figures 1 and 6): solve the
+// locality-constrained design LP (10)/(15) over a grid of average path
+// lengths and report the optimal throughput at each, normalized the way the
+// paper plots it (throughput as a fraction of capacity, path length as a
+// multiple of the minimal average).
+#pragma once
+
+#include <vector>
+
+#include "tcr/core/arc_flow.hpp"
+#include "tcr/util/thread_pool.hpp"
+
+namespace tcr {
+
+struct TradeoffPoint {
+  double locality = 0.0;           // normalized average path length (>= 1)
+  double capacity_fraction = 0.0;  // optimal Theta / capacity at that locality
+  lp::Status status = lp::Status::Numerical;
+};
+
+/// Worst-case curve (Figure 1): for each normalized locality L, the best
+/// achievable worst-case throughput.
+std::vector<TradeoffPoint> worst_case_tradeoff(const Torus& torus,
+                                               const std::vector<double>& localities,
+                                               const lp::SimplexOptions& opts = {},
+                                               ThreadPool* pool = nullptr);
+
+/// Average-case curve (Figure 6) using permutation traffic samples.
+std::vector<TradeoffPoint> average_case_tradeoff(const Torus& torus,
+                                                 const std::vector<std::vector<int>>& samples,
+                                                 const std::vector<double>& localities,
+                                                 const lp::SimplexOptions& opts = {},
+                                                 ThreadPool* pool = nullptr);
+
+/// Evenly spaced grid of n normalized localities in [lo, hi].
+std::vector<double> locality_grid(double lo, double hi, int n);
+
+}  // namespace tcr

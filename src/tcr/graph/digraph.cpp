@@ -1,0 +1,106 @@
+#include "tcr/graph/digraph.hpp"
+
+#include <queue>
+
+#include "tcr/util/check.hpp"
+
+namespace tcr {
+
+Digraph::Digraph(int num_nodes) : out_(num_nodes), in_(num_nodes) {
+  TCR_REQUIRE(num_nodes >= 0, "node count must be non-negative");
+}
+
+int Digraph::add_node() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return num_nodes() - 1;
+}
+
+int Digraph::add_channel(int src, int dst, double bandwidth) {
+  TCR_REQUIRE(src >= 0 && src < num_nodes() && dst >= 0 && dst < num_nodes(),
+              "channel endpoints out of range");
+  TCR_REQUIRE(bandwidth > 0.0, "channel bandwidth must be positive");
+  channels_.push_back({src, dst, bandwidth});
+  const int c = num_channels() - 1;
+  out_[src].push_back(c);
+  in_[dst].push_back(c);
+  return c;
+}
+
+std::vector<int> Digraph::distances_from(int src) const {
+  TCR_REQUIRE(src >= 0 && src < num_nodes(), "source out of range");
+  std::vector<int> dist(static_cast<std::size_t>(num_nodes()), -1);
+  std::queue<int> q;
+  dist[src] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const int n = q.front();
+    q.pop();
+    for (int c : out_[n]) {
+      const int d = channels_[c].dst;
+      if (dist[d] < 0) {
+        dist[d] = dist[n] + 1;
+        q.push(d);
+      }
+    }
+  }
+  return dist;
+}
+
+DenseMatrix Digraph::all_pairs_distances() const {
+  DenseMatrix d(num_nodes(), num_nodes());
+  for (int s = 0; s < num_nodes(); ++s) {
+    const auto row = distances_from(s);
+    for (int t = 0; t < num_nodes(); ++t) d(s, t) = row[t];
+  }
+  return d;
+}
+
+double Digraph::mean_min_distance() const {
+  const DenseMatrix d = all_pairs_distances();
+  double sum = 0.0;
+  for (int s = 0; s < num_nodes(); ++s)
+    for (int t = 0; t < num_nodes(); ++t) {
+      TCR_ASSERT(d(s, t) >= 0, "graph must be strongly connected");
+      sum += d(s, t);
+    }
+  return sum / (static_cast<double>(num_nodes()) * num_nodes());
+}
+
+Digraph make_ring(int n) {
+  TCR_REQUIRE(n >= 2, "ring needs at least 2 nodes");
+  Digraph g(n);
+  for (int i = 0; i < n; ++i) g.add_channel(i, (i + 1) % n);
+  return g;
+}
+
+Digraph make_bidirectional_ring(int n) {
+  TCR_REQUIRE(n >= 2, "ring needs at least 2 nodes");
+  Digraph g(n);
+  for (int i = 0; i < n; ++i) {
+    g.add_channel(i, (i + 1) % n);
+    g.add_channel(i, (i + n - 1) % n);
+  }
+  return g;
+}
+
+Digraph make_mesh(int kx, int ky) {
+  TCR_REQUIRE(kx >= 1 && ky >= 1, "mesh dimensions must be positive");
+  Digraph g(kx * ky);
+  auto id = [kx](int x, int y) { return x + kx * y; };
+  for (int y = 0; y < ky; ++y) {
+    for (int x = 0; x < kx; ++x) {
+      if (x + 1 < kx) {
+        g.add_channel(id(x, y), id(x + 1, y));
+        g.add_channel(id(x + 1, y), id(x, y));
+      }
+      if (y + 1 < ky) {
+        g.add_channel(id(x, y), id(x, y + 1));
+        g.add_channel(id(x, y + 1), id(x, y));
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace tcr

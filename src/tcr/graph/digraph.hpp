@@ -1,0 +1,56 @@
+// Directed multigraph with per-channel bandwidths (paper §2.1): nodes have
+// unit injection/ejection bandwidth, channels have bandwidth b_c.
+#pragma once
+
+#include <vector>
+
+#include "tcr/lin/dense_matrix.hpp"
+
+namespace tcr {
+
+struct Channel {
+  int src = -1;
+  int dst = -1;
+  double bandwidth = 1.0;
+};
+
+class Digraph {
+ public:
+  explicit Digraph(int num_nodes = 0);
+
+  int add_node();
+  int add_channel(int src, int dst, double bandwidth = 1.0);
+
+  int num_nodes() const { return static_cast<int>(out_.size()); }
+  int num_channels() const { return static_cast<int>(channels_.size()); }
+  const Channel& channel(int c) const { return channels_[c]; }
+
+  const std::vector<int>& out_channels(int node) const { return out_[node]; }
+  const std::vector<int>& in_channels(int node) const { return in_[node]; }
+
+  /// Hop distance from `src` to every node (BFS; unreachable = -1).
+  std::vector<int> distances_from(int src) const;
+
+  /// All-pairs hop distances.
+  DenseMatrix all_pairs_distances() const;
+
+  /// Mean of the all-pairs minimal hop distances (including s == d pairs,
+  /// which contribute zero) — the normalizer for locality (paper §2.3).
+  double mean_min_distance() const;
+
+ private:
+  std::vector<Channel> channels_;
+  std::vector<std::vector<int>> out_;
+  std::vector<std::vector<int>> in_;
+};
+
+/// Unidirectional ring of n nodes (simple worked example in tests/examples).
+Digraph make_ring(int n);
+
+/// Bidirectional ring (1-ary torus slice): channels both ways.
+Digraph make_bidirectional_ring(int n);
+
+/// kx-by-ky mesh with bidirectional channels (no wraparound).
+Digraph make_mesh(int kx, int ky);
+
+}  // namespace tcr

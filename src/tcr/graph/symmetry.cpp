@@ -1,0 +1,57 @@
+#include "tcr/graph/symmetry.hpp"
+
+#include <algorithm>
+
+#include "tcr/util/check.hpp"
+
+namespace tcr {
+
+int TorusSymmetry::map_node(int g, int n) const {
+  const Torus& t = *torus_;
+  int x = t.x_of(n), y = t.y_of(n);
+  if (g & 1) x = -x;
+  if (g & 2) y = -y;
+  if (g & 4) std::swap(x, y);
+  return t.node(x, y);
+}
+
+Dir TorusSymmetry::map_dir(int g, Dir d) const {
+  bool x_dim = is_x(d);
+  int sign = sign_of(d);
+  if ((g & 1) && x_dim) sign = -sign;
+  if ((g & 2) && !x_dim) sign = -sign;
+  if (g & 4) x_dim = !x_dim;
+  if (x_dim) return sign > 0 ? Dir::PX : Dir::NX;
+  return sign > 0 ? Dir::PY : Dir::NY;
+}
+
+int TorusSymmetry::map_channel(int g, int c) const {
+  const Torus& t = *torus_;
+  return t.channel(map_node(g, t.channel_src(c)), map_dir(g, t.channel_dir(c)));
+}
+
+Path TorusSymmetry::map_path(int g, const Path& p) const {
+  Path q;
+  q.src = map_node(g, p.src);
+  q.dst = map_node(g, p.dst);
+  q.channels.reserve(p.channels.size());
+  for (int c : p.channels) q.channels.push_back(map_channel(g, c));
+  return q;
+}
+
+int TorusSymmetry::node_rep(int e) const {
+  int best = e;
+  for (int g = 1; g < kOrder; ++g) best = std::min(best, map_node(g, e));
+  return best;
+}
+
+long long TorusSymmetry::pair_rep(int e, int c) const {
+  const long long nc = torus_->num_channels();
+  long long best = e * nc + c;
+  for (int g = 1; g < kOrder; ++g) {
+    best = std::min(best, map_node(g, e) * nc + map_channel(g, c));
+  }
+  return best;
+}
+
+}  // namespace tcr

@@ -1,0 +1,64 @@
+#include "tcr/graph/torus.hpp"
+
+#include "tcr/util/check.hpp"
+
+namespace tcr {
+
+// k = 2 is excluded: both ring directions would connect the same node pair,
+// making node walks ambiguous as channel sequences.
+Torus::Torus(int k) : k_(k) { TCR_REQUIRE(k >= 3, "torus radix must be at least 3"); }
+
+int Torus::neighbor(int n, Dir d) const {
+  const int x = x_of(n), y = y_of(n);
+  switch (d) {
+    case Dir::PX: return node(x + 1, y);
+    case Dir::NX: return node(x - 1, y);
+    case Dir::PY: return node(x, y + 1);
+    case Dir::NY: return node(x, y - 1);
+  }
+  return -1;
+}
+
+int Torus::channel_dst(int c) const { return neighbor(channel_src(c), channel_dir(c)); }
+
+int Torus::translate_node(int n, int t) const {
+  return node(x_of(n) + x_of(t), y_of(n) + y_of(t));
+}
+
+int Torus::negate_node(int n) const { return node(-x_of(n), -y_of(n)); }
+
+int Torus::min_dist(int a, int b) const {
+  const int dx = mod(x_of(b) - x_of(a));
+  const int dy = mod(y_of(b) - y_of(a));
+  return ring_dist(dx) + ring_dist(dy);
+}
+
+double Torus::mean_min_distance() const {
+  // By translation symmetry the mean over all pairs equals the mean over
+  // destinations from one source.
+  double sum = 0.0;
+  for (int e = 0; e < num_nodes(); ++e) sum += min_dist(0, e);
+  return sum / num_nodes();
+}
+
+Digraph Torus::graph() const {
+  Digraph g(num_nodes());
+  for (int n = 0; n < num_nodes(); ++n) {
+    for (int d = 0; d < kNumDirs; ++d) {
+      const int c = g.add_channel(n, neighbor(n, static_cast<Dir>(d)));
+      TCR_ASSERT(c == channel(n, static_cast<Dir>(d)), "channel ids must align");
+    }
+  }
+  return g;
+}
+
+double Torus::ideal_uniform_load() const {
+  // Under uniform traffic each dimension carries, per node, the mean minimal
+  // ring distance sum_{delta} min(delta, k - delta)/k hops, spread over the
+  // 2 ring channels per node of that dimension.
+  const double k = k_;
+  if (k_ % 2 == 0) return k / 8.0;
+  return (k * k - 1.0) / (8.0 * k);
+}
+
+}  // namespace tcr

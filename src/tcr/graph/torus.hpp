@@ -1,0 +1,78 @@
+// The k-ary 2-cube (2-D torus) topology, paper §5 / Figure 2.
+//
+// Nodes are (x, y) with 0 <= x, y < k, indexed x + k*y. Every node owns four
+// unit-bandwidth channels (+X, -X, +Y, -Y), indexed 4*node + dir, so
+// N = k^2 and C = 4N. The class also exposes the translation automorphisms
+// that make the torus vertex- and edge-symmetric — the symmetry the paper
+// exploits (§4) to shrink its design LPs to O(CN).
+#pragma once
+
+#include <algorithm>
+
+#include "tcr/graph/digraph.hpp"
+
+namespace tcr {
+
+enum class Dir : int { PX = 0, NX = 1, PY = 2, NY = 3 };
+
+constexpr int kNumDirs = 4;
+
+/// Is this direction in the X dimension?
+constexpr bool is_x(Dir d) { return d == Dir::PX || d == Dir::NX; }
+/// +1 for positive directions, -1 for negative ones.
+constexpr int sign_of(Dir d) { return (d == Dir::PX || d == Dir::PY) ? 1 : -1; }
+
+class Torus {
+ public:
+  explicit Torus(int k);
+
+  int k() const { return k_; }
+  int num_nodes() const { return k_ * k_; }
+  int num_channels() const { return 4 * num_nodes(); }
+
+  int node(int x, int y) const { return mod(x) + k_ * mod(y); }
+  int x_of(int n) const { return n % k_; }
+  int y_of(int n) const { return n / k_; }
+
+  int channel(int n, Dir d) const { return 4 * n + static_cast<int>(d); }
+  int channel_src(int c) const { return c / 4; }
+  Dir channel_dir(int c) const { return static_cast<Dir>(c % 4); }
+  int channel_dst(int c) const;
+
+  /// Neighbor of n one hop in direction d.
+  int neighbor(int n, Dir d) const;
+
+  /// Component-wise node addition modulo k (translation automorphism).
+  int translate_node(int n, int t) const;
+  /// Node negation: -n (mod k in each coordinate).
+  int negate_node(int n) const;
+  /// Channel image under translation by t.
+  int translate_channel(int c, int t) const { return channel(translate_node(channel_src(c), t), channel_dir(c)); }
+  /// Relative offset d - s, as a node index.
+  int offset(int s, int d) const { return translate_node(d, negate_node(s)); }
+
+  /// Minimal hop distance between nodes.
+  int min_dist(int a, int b) const;
+  /// Mean minimal distance over all N^2 (s, d) pairs (including s == d).
+  double mean_min_distance() const;
+
+  /// Minimal ring distance for a 1-D offset delta in [0, k).
+  int ring_dist(int delta) const { return std::min(delta, k_ - delta); }
+
+  /// Materialize the topology as a Digraph; channel ids are preserved.
+  Digraph graph() const;
+
+  /// Exact maximum channel load of a capacity-optimal (minimal, tie-split)
+  /// routing under uniform traffic: k/8 for even k, (k^2 - 1)/(8k) for odd k.
+  /// The network capacity (paper §3.1) is its reciprocal.
+  double ideal_uniform_load() const;
+
+ private:
+  int mod(int v) const {
+    v %= k_;
+    return v < 0 ? v + k_ : v;
+  }
+  int k_;
+};
+
+}  // namespace tcr

@@ -1,0 +1,81 @@
+#include "tcr/lin/dense_lu.hpp"
+
+#include <cmath>
+
+#include "tcr/util/check.hpp"
+
+namespace tcr {
+
+bool DenseLU::factor(const DenseMatrix& a) {
+  TCR_REQUIRE(a.rows() == a.cols(), "DenseLU requires a square matrix");
+  n_ = a.rows();
+  lu_ = a;
+  perm_.resize(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) perm_[i] = i;
+
+  for (int k = 0; k < n_; ++k) {
+    // Partial pivoting: pick the largest magnitude entry in column k.
+    int piv = k;
+    double best = std::abs(lu_(k, k));
+    for (int i = k + 1; i < n_; ++i) {
+      const double v = std::abs(lu_(i, k));
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    if (best < 1e-12) return false;
+    if (piv != k) {
+      for (int j = 0; j < n_; ++j) std::swap(lu_(k, j), lu_(piv, j));
+      std::swap(perm_[k], perm_[piv]);
+    }
+    const double d = lu_(k, k);
+    for (int i = k + 1; i < n_; ++i) {
+      const double m = lu_(i, k) / d;
+      lu_(i, k) = m;
+      if (m == 0.0) continue;
+      for (int j = k + 1; j < n_; ++j) lu_(i, j) -= m * lu_(k, j);
+    }
+  }
+  return true;
+}
+
+std::vector<double> DenseLU::solve(const std::vector<double>& b) const {
+  TCR_REQUIRE(static_cast<int>(b.size()) == n_, "rhs size mismatch");
+  std::vector<double> x(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) x[i] = b[perm_[i]];
+  // Forward: L y = P b (unit lower triangle).
+  for (int i = 1; i < n_; ++i) {
+    double acc = x[i];
+    for (int j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc;
+  }
+  // Backward: U x = y.
+  for (int i = n_ - 1; i >= 0; --i) {
+    double acc = x[i];
+    for (int j = i + 1; j < n_; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc / lu_(i, i);
+  }
+  return x;
+}
+
+std::vector<double> DenseLU::solve_transpose(const std::vector<double>& c) const {
+  TCR_REQUIRE(static_cast<int>(c.size()) == n_, "rhs size mismatch");
+  // A' = (P' L U)' = U' L' P, so solve U' z = c, then L' w = z, then y = P' w.
+  std::vector<double> z = c;
+  for (int i = 0; i < n_; ++i) {
+    double acc = z[i];
+    for (int j = 0; j < i; ++j) acc -= lu_(j, i) * z[j];
+    z[i] = acc / lu_(i, i);
+  }
+  for (int i = n_ - 1; i >= 0; --i) {
+    double acc = z[i];
+    for (int j = i + 1; j < n_; ++j) acc -= lu_(j, i) * z[j];
+    z[i] = acc;
+  }
+  std::vector<double> y(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) y[perm_[i]] = z[i];
+  return y;
+}
+
+}  // namespace tcr

@@ -1,0 +1,32 @@
+// Dense LU factorization with partial pivoting.
+//
+// Reference/oracle implementation: unit tests validate the sparse LU and the
+// revised simplex against it on randomly generated systems.
+#pragma once
+
+#include <vector>
+
+#include "tcr/lin/dense_matrix.hpp"
+
+namespace tcr {
+
+class DenseLU {
+ public:
+  /// Factor A (square). Returns false if A is singular to working precision.
+  bool factor(const DenseMatrix& a);
+
+  /// Solve A x = b. Requires a successful factor().
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// Solve A' y = c.
+  std::vector<double> solve_transpose(const std::vector<double>& c) const;
+
+  int n() const { return n_; }
+
+ private:
+  int n_ = 0;
+  DenseMatrix lu_;
+  std::vector<int> perm_;  // row permutation: factored row i came from perm_[i]
+};
+
+}  // namespace tcr

@@ -1,0 +1,71 @@
+#include "tcr/lin/dense_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tcr/util/check.hpp"
+
+namespace tcr {
+
+DenseMatrix::DenseMatrix(int rows, int cols, double f)
+    : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows) * cols, f) {
+  TCR_REQUIRE(rows >= 0 && cols >= 0, "matrix dimensions must be non-negative");
+}
+
+void DenseMatrix::fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+std::vector<double> DenseMatrix::multiply(const std::vector<double>& x) const {
+  TCR_REQUIRE(static_cast<int>(x.size()) == cols_, "dimension mismatch in multiply");
+  std::vector<double> y(static_cast<std::size_t>(rows_), 0.0);
+  for (int i = 0; i < rows_; ++i) {
+    const double* r = row(i);
+    double acc = 0.0;
+    for (int j = 0; j < cols_; ++j) acc += r[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+std::vector<double> DenseMatrix::multiply_transpose(const std::vector<double>& x) const {
+  TCR_REQUIRE(static_cast<int>(x.size()) == rows_, "dimension mismatch in multiply_transpose");
+  std::vector<double> y(static_cast<std::size_t>(cols_), 0.0);
+  for (int i = 0; i < rows_; ++i) {
+    const double* r = row(i);
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (int j = 0; j < cols_; ++j) y[j] += r[j] * xi;
+  }
+  return y;
+}
+
+double DenseMatrix::max_abs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double DenseMatrix::sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+std::vector<double> DenseMatrix::row_sums() const {
+  std::vector<double> s(static_cast<std::size_t>(rows_), 0.0);
+  for (int i = 0; i < rows_; ++i) {
+    const double* r = row(i);
+    for (int j = 0; j < cols_; ++j) s[i] += r[j];
+  }
+  return s;
+}
+
+std::vector<double> DenseMatrix::col_sums() const {
+  std::vector<double> s(static_cast<std::size_t>(cols_), 0.0);
+  for (int i = 0; i < rows_; ++i) {
+    const double* r = row(i);
+    for (int j = 0; j < cols_; ++j) s[j] += r[j];
+  }
+  return s;
+}
+
+}  // namespace tcr

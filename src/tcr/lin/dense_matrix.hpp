@@ -1,0 +1,44 @@
+// Small dense row-major matrix used by metrics (channel-load tables, traffic
+// matrices) and by the dense reference LU / simplex implementations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tcr {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(int rows, int cols, double fill = 0.0);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double& operator()(int i, int j) { return data_[static_cast<std::size_t>(i) * cols_ + j]; }
+  double operator()(int i, int j) const { return data_[static_cast<std::size_t>(i) * cols_ + j]; }
+
+  double* row(int i) { return data_.data() + static_cast<std::size_t>(i) * cols_; }
+  const double* row(int i) const { return data_.data() + static_cast<std::size_t>(i) * cols_; }
+
+  void fill(double v);
+
+  /// y = A x
+  std::vector<double> multiply(const std::vector<double>& x) const;
+  /// y = A' x
+  std::vector<double> multiply_transpose(const std::vector<double>& x) const;
+
+  double max_abs() const;
+  double sum() const;
+
+  /// Row i sums / column j sums (used for doubly-stochastic checks).
+  std::vector<double> row_sums() const;
+  std::vector<double> col_sums() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace tcr

@@ -1,0 +1,58 @@
+// Compressed sparse column (CSC) matrix with a triplet-based builder.
+//
+// This is the storage format consumed by the revised simplex: constraint
+// matrices are built once (duplicate triplets are summed) and then accessed
+// column-by-column during pricing / FTRAN.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tcr {
+
+struct Triplet {
+  int row;
+  int col;
+  double value;
+};
+
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  /// Build from triplets; duplicate (row, col) entries are summed, and
+  /// entries with magnitude below `drop_tol` after summing are dropped.
+  SparseMatrix(int rows, int cols, const std::vector<Triplet>& triplets,
+               double drop_tol = 0.0);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t nnz() const { return values_.size(); }
+
+  /// Column j occupies [col_begin(j), col_end(j)) in row_index()/values().
+  std::size_t col_begin(int j) const { return col_ptr_[j]; }
+  std::size_t col_end(int j) const { return col_ptr_[j + 1]; }
+  int row_index(std::size_t k) const { return row_idx_[k]; }
+  double value(std::size_t k) const { return values_[k]; }
+
+  /// y += alpha * A(:, j)
+  void add_column_to(int j, double alpha, std::vector<double>& y) const;
+
+  /// Dot product of column j with a dense vector.
+  double column_dot(int j, const std::vector<double>& x) const;
+
+  /// y = A x (dense result).
+  std::vector<double> multiply(const std::vector<double>& x) const;
+
+  /// y = A' x (dense result).
+  std::vector<double> multiply_transpose(const std::vector<double>& x) const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<std::size_t> col_ptr_;
+  std::vector<int> row_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace tcr

@@ -1,0 +1,91 @@
+// Linear-program model builder and solution types.
+//
+// A Model holds columns (variables with bounds and objective coefficients)
+// and rows (linear constraints with a sense and right-hand side), accumulated
+// as triplets. Solvers convert it to their internal standard form.
+//
+// This is the interface on which all of the paper's routing-design problems
+// (capacity (6), worst-case (8)/(10), average-case (15), path-restricted
+// variants) are expressed; see tcr/core/.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "tcr/lin/sparse.hpp"
+
+namespace tcr::lp {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class Sense { Minimize, Maximize };
+enum class RowType { LE, GE, EQ };
+
+enum class Status {
+  Optimal,
+  Infeasible,
+  Unbounded,
+  IterationLimit,
+  Numerical,
+};
+
+const char* to_string(Status s);
+
+struct Solution {
+  Status status = Status::Numerical;
+  double objective = 0.0;
+  std::vector<double> x;        // structural variable values
+  std::vector<double> duals;    // one per row (simplex multipliers y)
+  std::vector<double> reduced;  // reduced costs of structural variables
+  long iterations = 0;          // total simplex iterations (both phases)
+  long phase1_iterations = 0;
+
+  bool optimal() const { return status == Status::Optimal; }
+};
+
+class Model {
+ public:
+  /// Add a variable with bounds [lo, up] and objective coefficient `cost`.
+  int add_col(double lo, double up, double cost);
+
+  /// Add an empty constraint row; populate with add_term().
+  int add_row(RowType type, double rhs);
+
+  /// Add (or accumulate) a coefficient. Duplicate (row, col) terms sum.
+  void add_term(int row, int col, double coeff);
+
+  /// Convenience: add a fully-formed row in one call.
+  int add_row(RowType type, double rhs, const std::vector<std::pair<int, double>>& terms);
+
+  void set_sense(Sense s) { sense_ = s; }
+  Sense sense() const { return sense_; }
+
+  void set_cost(int col, double cost);
+
+  int num_cols() const { return static_cast<int>(lo_.size()); }
+  int num_rows() const { return static_cast<int>(rhs_.size()); }
+  std::size_t num_terms() const { return triplets_.size(); }
+
+  double lower(int col) const { return lo_[col]; }
+  double upper(int col) const { return up_[col]; }
+  double cost(int col) const { return cost_[col]; }
+  RowType row_type(int row) const { return type_[row]; }
+  double rhs(int row) const { return rhs_[row]; }
+  const std::vector<Triplet>& triplets() const { return triplets_; }
+
+  /// Objective value of a given structural assignment (ignores feasibility).
+  double objective_value(const std::vector<double>& x) const;
+
+  /// Maximum constraint violation of an assignment (for verification).
+  double max_violation(const std::vector<double>& x) const;
+
+ private:
+  Sense sense_ = Sense::Minimize;
+  std::vector<double> lo_, up_, cost_;
+  std::vector<RowType> type_;
+  std::vector<double> rhs_;
+  std::vector<Triplet> triplets_;
+};
+
+}  // namespace tcr::lp

@@ -1,0 +1,422 @@
+#include "tcr/lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "tcr/lin/sparse.hpp"
+#include "tcr/lin/sparse_lu.hpp"
+#include "tcr/lp/standard_form.hpp"
+#include "tcr/util/check.hpp"
+#include "tcr/util/rng.hpp"
+
+namespace tcr::lp {
+
+namespace {
+
+using detail::kAtLower;
+using detail::kAtUpper;
+using detail::kBasic;
+using detail::kFree;
+using detail::StandardForm;
+using detail::VarStatus;
+
+// Product-form basis update: B_new = B_old * E with E's r-th column = w.
+struct Eta {
+  int pos;           // pivot position r
+  double pivot;      // w[r]
+  std::vector<std::pair<int, double>> entries;  // (position, w[i]) for i != r
+};
+
+class RevisedSimplex {
+ public:
+  RevisedSimplex(StandardForm sf, const SimplexOptions& opt)
+      : sf_(std::move(sf)),
+        opt_(opt),
+        m_(sf_.m),
+        n_(sf_.ntotal),
+        a_(sf_.m, sf_.ntotal, sf_.triplets),
+        rng_(opt.seed) {
+    stat_ = sf_.stat0;
+    basic_ = sf_.basis0;
+    pos_of_col_.assign(n_, -1);
+    for (int i = 0; i < m_; ++i) pos_of_col_[basic_[i]] = i;
+    max_iters_ = opt_.max_iterations > 0 ? opt_.max_iterations
+                                         : 200L * (m_ + n_) + 10000L;
+  }
+
+  Solution run() {
+    Solution sol;
+    if (!refactorize()) {
+      sol.status = Status::Numerical;
+      return sol;
+    }
+
+    if (sf_.need_phase1) {
+      const Status s1 = optimize(sf_.cost1, /*phase1=*/true);
+      sol.phase1_iterations = iters_;
+      if (s1 != Status::Optimal) {
+        sol.status = (s1 == Status::Unbounded) ? Status::Numerical : s1;
+        sol.iterations = iters_;
+        return sol;
+      }
+      if (objective_of(sf_.cost1) > 10 * opt_.feas_tol * (1 + m_ * 0.01)) {
+        sol.status = Status::Infeasible;
+        sol.iterations = iters_;
+        return sol;
+      }
+    }
+
+    // Phase 2: pin artificials at zero.
+    for (int j = 0; j < n_; ++j)
+      if (sf_.artificial[j]) sf_.up[j] = 0.0;
+
+    Status s2;
+    if (opt_.perturb) {
+      // Deterministic tiny perturbation breaks massive dual degeneracy in the
+      // MCF models; a clean pass with the true costs follows.
+      std::vector<double> pcost = sf_.cost;
+      for (int j = 0; j < n_; ++j) {
+        // Free variables stay unperturbed: their null directions (e.g. a
+        // constant shift of dual potentials) would make the perturbed
+        // problem unbounded.
+        if (!std::isfinite(sf_.lo[j]) && !std::isfinite(sf_.up[j])) continue;
+        pcost[j] += 1e-9 * (1.0 + std::abs(pcost[j])) * (0.5 + rng_.uniform());
+      }
+      s2 = optimize(pcost, /*phase1=*/false);
+      if (s2 == Status::Optimal) s2 = optimize(sf_.cost, false);
+    } else {
+      s2 = optimize(sf_.cost, false);
+    }
+
+    sol.iterations = iters_;
+    sol.status = s2;
+    if (s2 != Status::Optimal) return sol;
+    extract(sol);
+    return sol;
+  }
+
+ private:
+  // ---- basis linear algebra -------------------------------------------
+
+  bool refactorize() {
+    etas_.clear();
+    if (!lu_.factor(a_, basic_)) return false;
+    compute_basic_values();
+    return true;
+  }
+
+  void compute_basic_values() {
+    std::vector<double> rhs = sf_.b;
+    for (int j = 0; j < n_; ++j) {
+      if (stat_[j] == kBasic) continue;
+      const double v = nonbasic_value(j);
+      if (v != 0.0) a_.add_column_to(j, -v, rhs);
+    }
+    ftran(rhs, xb_);
+  }
+
+  // w = B^-1 v; v is in row space, w in basis-position space.
+  void ftran(const std::vector<double>& v, std::vector<double>& w) const {
+    lu_.solve(v, w);
+    for (const Eta& e : etas_) {
+      double& wr = w[e.pos];
+      wr /= e.pivot;
+      if (wr != 0.0) {
+        for (const auto& [i, val] : e.entries) w[i] -= val * wr;
+      }
+    }
+  }
+
+  // y = B^-T c; c in basis-position space, y in row space.
+  void btran(std::vector<double> c, std::vector<double>& y) const {
+    for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+      double acc = c[it->pos];
+      for (const auto& [i, val] : it->entries) acc -= val * c[i];
+      c[it->pos] = acc / it->pivot;
+    }
+    lu_.solve_transpose(c, y);
+  }
+
+  double nonbasic_value(int j) const {
+    switch (stat_[j]) {
+      case kAtLower: return sf_.lo[j];
+      case kAtUpper: return sf_.up[j];
+      default: return 0.0;
+    }
+  }
+
+  double objective_of(const std::vector<double>& cost) const {
+    double obj = 0.0;
+    for (int i = 0; i < m_; ++i) obj += cost[basic_[i]] * xb_[i];
+    for (int j = 0; j < n_; ++j)
+      if (stat_[j] != kBasic) obj += cost[j] * nonbasic_value(j);
+    return obj;
+  }
+
+  // ---- main loop -------------------------------------------------------
+
+  Status optimize(const std::vector<double>& cost, bool phase1) {
+    std::vector<double> cb(static_cast<std::size_t>(m_));
+    std::vector<double> y, w, rho;
+    std::vector<double> er(static_cast<std::size_t>(m_), 0.0);
+    int degenerate_streak = 0;
+    int since_refactor = 0;
+    bool fresh_basis = true;  // no pivots since the last refactorization
+    // DEVEX reference weights (reset per optimize call).
+    devex_.assign(n_, 1.0);
+
+    for (;;) {
+      if (++iters_ > max_iters_) return Status::IterationLimit;
+
+      for (int i = 0; i < m_; ++i) cb[i] = cost[basic_[i]];
+      btran(cb, y);
+
+      // ---- pricing (DEVEX: maximize d^2 / reference weight) ----
+      const bool bland = degenerate_streak >= opt_.bland_after;
+      int q = -1, dir = 0;
+      double best = 0.0;
+      for (int j = 0; j < n_; ++j) {
+        if (stat_[j] == kBasic || sf_.lo[j] == sf_.up[j]) continue;
+        const double d = cost[j] - a_.column_dot(j, y);
+        double viol = 0.0;
+        int jdir = 0;
+        if (stat_[j] == kAtLower) {
+          if (d < -opt_.opt_tol) { viol = -d; jdir = 1; }
+        } else if (stat_[j] == kAtUpper) {
+          if (d > opt_.opt_tol) { viol = d; jdir = -1; }
+        } else {  // free
+          if (d < -opt_.opt_tol) { viol = -d; jdir = 1; }
+          else if (d > opt_.opt_tol) { viol = d; jdir = -1; }
+        }
+        if (jdir == 0) continue;
+        if (bland) { q = j; dir = jdir; break; }
+        const double score = viol * viol / devex_[j];
+        if (score > best) {
+          best = score;
+          q = j;
+          dir = jdir;
+        }
+      }
+      if (q < 0) {
+        // Confirm optimality against a freshly factorized basis.
+        if (!fresh_basis) {
+          if (!refactorize()) return Status::Numerical;
+          since_refactor = 0;
+          fresh_basis = true;
+          --iters_;
+          continue;
+        }
+        return Status::Optimal;
+      }
+
+      // ---- FTRAN ----
+      col_buf_.assign(m_, 0.0);
+      a_.add_column_to(q, 1.0, col_buf_);
+      ftran(col_buf_, w);
+
+      // ---- ratio test (two-pass Harris) ----
+      const double own_range = sf_.up[q] - sf_.lo[q];
+      double t_limit = std::isfinite(own_range) ? own_range : kInf;
+
+      // Pass 1: maximum step allowed with bounds relaxed by feas_tol.
+      for (int i = 0; i < m_; ++i) {
+        const double delta = dir * w[i];
+        if (std::abs(delta) <= 1e-9) continue;
+        const int bj = basic_[i];
+        double t;
+        if (delta > 0) {
+          if (!std::isfinite(sf_.lo[bj])) continue;
+          t = (xb_[i] - (sf_.lo[bj] - opt_.feas_tol)) / delta;
+        } else {
+          if (!std::isfinite(sf_.up[bj])) continue;
+          t = ((sf_.up[bj] + opt_.feas_tol) - xb_[i]) / (-delta);
+        }
+        t_limit = std::min(t_limit, std::max(t, 0.0));
+      }
+      if (!std::isfinite(t_limit)) {
+        // Never trust an unbounded verdict from a stale basis: refactorize
+        // and re-derive the direction once before reporting.
+        if (!fresh_basis) {
+          if (!refactorize()) return Status::Numerical;
+          since_refactor = 0;
+          fresh_basis = true;
+          --iters_;
+          continue;
+        }
+        return phase1 ? Status::Numerical : Status::Unbounded;
+      }
+
+      // Pass 2: among blockers within t_limit, pick the largest pivot.
+      int leave = -1;
+      double t_step = std::isfinite(own_range) ? own_range : kInf;
+      double best_pivot = 0.0;
+      for (int i = 0; i < m_; ++i) {
+        const double delta = dir * w[i];
+        if (std::abs(delta) <= 1e-9) continue;
+        const int bj = basic_[i];
+        double t;
+        if (delta > 0) {
+          if (!std::isfinite(sf_.lo[bj])) continue;
+          t = (xb_[i] - sf_.lo[bj]) / delta;
+        } else {
+          if (!std::isfinite(sf_.up[bj])) continue;
+          t = (sf_.up[bj] - xb_[i]) / (-delta);
+        }
+        t = std::max(t, 0.0);
+        if (t <= t_limit + 1e-12) {
+          const double piv = std::abs(w[i]);
+          if (bland) {
+            // Bland: smallest column index among eligible blockers.
+            if (leave < 0 || bj < basic_[leave]) { leave = i; t_step = t; }
+          } else if (piv > best_pivot) {
+            best_pivot = piv;
+            leave = i;
+            t_step = t;
+          }
+        }
+      }
+
+      if (leave < 0) {
+        // Bound flip (t_step = own_range is the binding limit).
+        TCR_ASSERT(std::isfinite(t_step), "flip without finite range");
+        for (int i = 0; i < m_; ++i) xb_[i] -= t_step * dir * w[i];
+        stat_[q] = (stat_[q] == kAtLower) ? kAtUpper : kAtLower;
+        degenerate_streak = 0;
+        continue;
+      }
+      // A basic blocker leaves; if the own-bound range is smaller, flip
+      // instead.
+      if (std::isfinite(own_range) && own_range < t_step) {
+        for (int i = 0; i < m_; ++i) xb_[i] -= own_range * dir * w[i];
+        stat_[q] = (stat_[q] == kAtLower) ? kAtUpper : kAtLower;
+        degenerate_streak = 0;
+        continue;
+      }
+
+      degenerate_streak = (t_step <= 1e-10) ? degenerate_streak + 1 : 0;
+
+      // ---- DEVEX weight update (Forrest-Goldfarb) ----
+      // Needs the pivot row alpha = e_r' B^-1 N; one extra BTRAN plus a pass
+      // over the matrix, which DEVEX repays many times over in iterations.
+      if (!bland) {
+        const double alpha_q = w[leave];
+        const double devex_q = std::max(devex_[q], 1.0);
+        std::fill(er.begin(), er.end(), 0.0);
+        er[leave] = 1.0;
+        btran(er, rho);
+        const double scale = devex_q / (alpha_q * alpha_q);
+        for (int j = 0; j < n_; ++j) {
+          if (stat_[j] == kBasic || j == q || sf_.lo[j] == sf_.up[j]) continue;
+          const double alpha_j = a_.column_dot(j, rho);
+          if (alpha_j == 0.0) continue;
+          const double cand = alpha_j * alpha_j * scale;
+          if (cand > devex_[j]) devex_[j] = cand;
+        }
+        devex_[basic_[leave]] = std::max(scale, 1.0);
+        if (devex_q > 1e7) devex_.assign(n_, 1.0);  // reset a stale framework
+      }
+
+      // ---- update ----
+      const double enter_val = nonbasic_value(q) + dir * t_step;
+      for (int i = 0; i < m_; ++i) xb_[i] -= t_step * dir * w[i];
+      const int out = basic_[leave];
+      const double delta_out = dir * w[leave];
+      stat_[out] = (delta_out > 0) ? kAtLower : kAtUpper;
+      basic_[leave] = q;
+      pos_of_col_[out] = -1;
+      pos_of_col_[q] = leave;
+      stat_[q] = kBasic;
+      xb_[leave] = enter_val;
+
+      // Numerical alarm: tiny pivot in the transformed column.
+      if (std::abs(w[leave]) < 1e-7) {
+        if (!refactorize()) return Status::Numerical;
+        since_refactor = 0;
+        fresh_basis = true;
+        continue;
+      }
+      fresh_basis = false;
+
+      Eta eta;
+      eta.pos = leave;
+      eta.pivot = w[leave];
+      for (int i = 0; i < m_; ++i) {
+        if (i != leave && w[i] != 0.0) eta.entries.emplace_back(i, w[i]);
+      }
+      etas_.push_back(std::move(eta));
+
+      if (++since_refactor >= opt_.refactor_every) {
+        if (!refactorize()) return Status::Numerical;
+        since_refactor = 0;
+        fresh_basis = true;
+      }
+    }
+  }
+
+  void extract(Solution& sol) {
+    // One clean refactorization for final values.
+    refactorize();
+    std::vector<double> x(static_cast<std::size_t>(n_), 0.0);
+    for (int j = 0; j < n_; ++j)
+      if (stat_[j] != kBasic) x[j] = nonbasic_value(j);
+    for (int i = 0; i < m_; ++i) x[basic_[i]] = xb_[i];
+
+    const double sign = sf_.maximize ? -1.0 : 1.0;
+    sol.x.assign(x.begin(), x.begin() + sf_.nstruct);
+    double obj = 0.0;
+    for (int j = 0; j < n_; ++j) obj += sf_.cost[j] * x[j];
+    sol.objective = sign * obj;
+
+    std::vector<double> cb(static_cast<std::size_t>(m_));
+    for (int i = 0; i < m_; ++i) cb[i] = sf_.cost[basic_[i]];
+    std::vector<double> y;
+    btran(cb, y);
+    sol.duals.resize(static_cast<std::size_t>(m_));
+    for (int i = 0; i < m_; ++i) sol.duals[i] = sign * y[i];
+    sol.reduced.resize(static_cast<std::size_t>(sf_.nstruct));
+    for (int j = 0; j < sf_.nstruct; ++j) {
+      sol.reduced[j] = sign * (sf_.cost[j] - a_.column_dot(j, y));
+    }
+  }
+
+  StandardForm sf_;
+  SimplexOptions opt_;
+  int m_, n_;
+  SparseMatrix a_;
+  Rng rng_;
+  long max_iters_ = 0;
+  long iters_ = 0;
+
+  std::vector<VarStatus> stat_;
+  std::vector<int> basic_;
+  std::vector<int> pos_of_col_;
+  std::vector<double> xb_;
+  std::vector<double> devex_;
+  SparseLU lu_;
+  std::vector<Eta> etas_;
+  std::vector<double> col_buf_;
+};
+
+}  // namespace
+
+Solution solve(const Model& model, const SimplexOptions& options) {
+  TCR_REQUIRE(model.num_cols() > 0, "model has no variables");
+  {
+    auto sf = detail::build_standard_form(model);
+    RevisedSimplex simplex(std::move(sf), options);
+    Solution sol = simplex.run();
+    if (sol.status != Status::Numerical) return sol;
+  }
+  // One retry on numerical breakdown: different perturbation seed and the
+  // opposite perturbation setting shift the pivot sequence enough to escape
+  // most bad bases.
+  SimplexOptions retry = options;
+  retry.seed = options.seed * 2654435761ULL + 17;
+  retry.perturb = !options.perturb;
+  auto sf = detail::build_standard_form(model);
+  RevisedSimplex simplex(std::move(sf), retry);
+  return simplex.run();
+}
+
+}  // namespace tcr::lp

@@ -1,0 +1,35 @@
+// Sparse revised simplex — the production LP solver of the library.
+//
+// Two-phase bounded-variable primal simplex:
+//   * basis kept as a sparse Markowitz LU plus a product-form eta file,
+//     refactorized periodically and on numerical alarm;
+//   * Dantzig pricing over the CSC matrix with a Bland's-rule fallback after
+//     a long run of degenerate pivots (anti-cycling);
+//   * two-pass Harris-style ratio test with a feasibility tolerance;
+//   * optional deterministic objective perturbation for heavily degenerate
+//     multicommodity-flow models, removed by a final clean re-optimization.
+//
+// The paper solved its routing-design LPs with CPLEX; this solver is the
+// from-scratch replacement (see DESIGN.md, substitutions).
+#pragma once
+
+#include <cstdint>
+
+#include "tcr/lp/model.hpp"
+
+namespace tcr::lp {
+
+struct SimplexOptions {
+  double feas_tol = 1e-7;   // bound/row feasibility tolerance
+  double opt_tol = 1e-7;    // reduced-cost (dual feasibility) tolerance
+  long max_iterations = 0;  // 0 -> 200 * (m + n) + 10000
+  int refactor_every = 50;
+  bool perturb = true;          // phase-2 anti-degeneracy cost perturbation
+  std::uint64_t seed = 0x5eedULL;
+  int bland_after = 3000;  // consecutive degenerate pivots before Bland mode
+};
+
+/// Solve with the sparse revised simplex.
+Solution solve(const Model& model, const SimplexOptions& options = {});
+
+}  // namespace tcr::lp

@@ -1,0 +1,102 @@
+#include "tcr/matching/hungarian.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "tcr/util/check.hpp"
+
+namespace tcr {
+
+AssignmentResult solve_assignment_min(const DenseMatrix& w) {
+  TCR_REQUIRE(w.rows() == w.cols(), "assignment requires a square matrix");
+  const int n = w.rows();
+  AssignmentResult res;
+  if (n == 0) return res;
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // 1-indexed arrays; p[j] = row matched to column j (0 = none).
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0), minv(n + 1);
+  std::vector<int> p(n + 1, 0), way(n + 1, 0);
+  std::vector<char> used(n + 1);
+
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::fill(minv.begin(), minv.end(), kInf);
+    std::fill(used.begin(), used.end(), 0);
+    do {
+      used[j0] = 1;
+      const int i0 = p[j0];
+      double delta = kInf;
+      int j1 = -1;
+      for (int j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = w(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      TCR_ASSERT(j1 >= 0, "augmenting path search failed");
+      for (int j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const int j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  res.assignment.assign(n, -1);
+  for (int j = 1; j <= n; ++j) res.assignment[p[j] - 1] = j - 1;
+  res.value = 0.0;
+  for (int i = 0; i < n; ++i) res.value += w(i, res.assignment[i]);
+  res.row_dual.assign(u.begin() + 1, u.end());
+  res.col_dual.assign(v.begin() + 1, v.end());
+  return res;
+}
+
+AssignmentResult solve_assignment_max(const DenseMatrix& w) {
+  DenseMatrix neg(w.rows(), w.cols());
+  for (int i = 0; i < w.rows(); ++i)
+    for (int j = 0; j < w.cols(); ++j) neg(i, j) = -w(i, j);
+  AssignmentResult res = solve_assignment_min(neg);
+  res.value = -res.value;
+  for (auto& d : res.row_dual) d = -d;
+  for (auto& d : res.col_dual) d = -d;
+  return res;
+}
+
+AssignmentResult assignment_max_bruteforce(const DenseMatrix& w) {
+  TCR_REQUIRE(w.rows() == w.cols(), "assignment requires a square matrix");
+  TCR_REQUIRE(w.rows() <= 10, "brute force limited to n <= 10");
+  const int n = w.rows();
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  AssignmentResult best;
+  best.value = -std::numeric_limits<double>::infinity();
+  do {
+    double v = 0.0;
+    for (int i = 0; i < n; ++i) v += w(i, perm[i]);
+    if (v > best.value) {
+      best.value = v;
+      best.assignment = perm;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+}  // namespace tcr

@@ -1,0 +1,34 @@
+// Assignment problem solvers.
+//
+// The worst-case channel load of an oblivious routing function is the
+// maximum, over permutation traffic patterns, of the load on a channel
+// (paper §3.2 / reference [11]): a max-weight bipartite perfect matching
+// whose weight matrix is the per-pair unit load on that channel. The O(n^3)
+// Hungarian algorithm solves it exactly; a brute-force oracle over all n!
+// permutations backs the unit tests.
+#pragma once
+
+#include <vector>
+
+#include "tcr/lin/dense_matrix.hpp"
+
+namespace tcr {
+
+struct AssignmentResult {
+  double value = 0.0;            // total weight of the optimal assignment
+  std::vector<int> assignment;   // assignment[row] = column
+  std::vector<double> row_dual;  // potentials u (value = sum u + sum v)
+  std::vector<double> col_dual;  // potentials v
+};
+
+/// Minimum-weight perfect matching on a complete bipartite graph given a
+/// square weight matrix. O(n^3).
+AssignmentResult solve_assignment_min(const DenseMatrix& w);
+
+/// Maximum-weight perfect matching. O(n^3).
+AssignmentResult solve_assignment_max(const DenseMatrix& w);
+
+/// Brute-force oracle (n <= 10): maximum-weight perfect matching.
+AssignmentResult assignment_max_bruteforce(const DenseMatrix& w);
+
+}  // namespace tcr

@@ -1,0 +1,36 @@
+#include "tcr/metrics/average_case.hpp"
+
+#include "tcr/metrics/loads.hpp"
+#include "tcr/util/check.hpp"
+
+namespace tcr {
+
+AverageCaseResult average_case(const TorusRouting& r,
+                               const std::vector<TrafficMatrix>& samples, ThreadPool* pool) {
+  TCR_REQUIRE(!samples.empty(), "need at least one traffic sample");
+  r.load_table();  // force the cache before any parallel section
+  const int count = static_cast<int>(samples.size());
+  std::vector<double> gmax(samples.size());
+  auto body = [&](int i) { gmax[i] = max_channel_load(r, samples[i]); };
+  if (pool != nullptr) {
+    ThreadPool::parallel_for(*pool, count, body);
+  } else {
+    for (int i = 0; i < count; ++i) body(i);
+  }
+  AverageCaseResult res;
+  for (double g : gmax) {
+    res.mean_max_load += g;
+    res.true_throughput += 1.0 / g;
+  }
+  res.mean_max_load /= count;
+  res.true_throughput /= count;
+  res.approx_throughput = 1.0 / res.mean_max_load;
+  return res;
+}
+
+double average_capacity_fraction(const TorusRouting& r,
+                                 const std::vector<TrafficMatrix>& samples, ThreadPool* pool) {
+  return r.torus().ideal_uniform_load() * average_case(r, samples, pool).approx_throughput;
+}
+
+}  // namespace tcr

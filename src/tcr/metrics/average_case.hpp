@@ -1,0 +1,32 @@
+// Average-case throughput over sampled doubly-stochastic traffic (paper
+// §3.3, eq. 9). Reports both the paper's linear approximation (reciprocal of
+// the arithmetic-mean max channel load) and the true sampled mean throughput
+// (mean of reciprocals), so the quality of the approximation can be measured
+// (the paper claims ~5% at |X| = 100, N = 64).
+#pragma once
+
+#include <vector>
+
+#include "tcr/routing/routing.hpp"
+#include "tcr/traffic/traffic.hpp"
+#include "tcr/util/thread_pool.hpp"
+
+namespace tcr {
+
+struct AverageCaseResult {
+  double mean_max_load = 0.0;    // (1/|X|) sum gamma_max  (eq. 9)
+  double approx_throughput = 0.0;  // 1 / mean_max_load
+  double true_throughput = 0.0;    // (1/|X|) sum 1/gamma_max
+};
+
+AverageCaseResult average_case(const TorusRouting& r,
+                               const std::vector<TrafficMatrix>& samples,
+                               ThreadPool* pool = nullptr);
+
+/// Approximate average-case throughput as a fraction of capacity — the
+/// x-axis of Figure 6.
+double average_capacity_fraction(const TorusRouting& r,
+                                 const std::vector<TrafficMatrix>& samples,
+                                 ThreadPool* pool = nullptr);
+
+}  // namespace tcr

@@ -1,0 +1,92 @@
+#include "tcr/metrics/loads.hpp"
+
+#include <algorithm>
+
+#include "tcr/util/check.hpp"
+
+namespace tcr {
+
+namespace {
+
+// Channel image table under translation by s: sigma_s[c] = c translated.
+std::vector<int> channel_translation(const Torus& t, int s) {
+  std::vector<int> sigma(static_cast<std::size_t>(t.num_channels()));
+  for (int c = 0; c < t.num_channels(); ++c) sigma[c] = t.translate_channel(c, s);
+  return sigma;
+}
+
+}  // namespace
+
+std::vector<double> channel_loads(const TorusRouting& r, const TrafficMatrix& lambda) {
+  const Torus& t = r.torus();
+  const int n = t.num_nodes(), nc = t.num_channels();
+  TCR_REQUIRE(lambda.rows() == n && lambda.cols() == n, "traffic matrix size mismatch");
+  const DenseMatrix& l0 = r.load_table();
+  std::vector<double> gamma(static_cast<std::size_t>(nc), 0.0);
+  for (int s = 0; s < n; ++s) {
+    const auto sigma = channel_translation(t, s);
+    for (int e = 0; e < n; ++e) {
+      const double w = lambda(s, t.translate_node(s, e));
+      if (w == 0.0) continue;
+      const double* row = l0.row(e);
+      for (int c = 0; c < nc; ++c) {
+        if (row[c] != 0.0) gamma[sigma[c]] += w * row[c];
+      }
+    }
+  }
+  return gamma;
+}
+
+std::vector<double> channel_loads(const TorusRouting& r, const std::vector<int>& perm) {
+  const Torus& t = r.torus();
+  const int n = t.num_nodes(), nc = t.num_channels();
+  TCR_REQUIRE(static_cast<int>(perm.size()) == n, "permutation size mismatch");
+  const DenseMatrix& l0 = r.load_table();
+  std::vector<double> gamma(static_cast<std::size_t>(nc), 0.0);
+  for (int s = 0; s < n; ++s) {
+    const auto sigma = channel_translation(t, s);
+    const int e = t.offset(s, perm[s]);
+    const double* row = l0.row(e);
+    for (int c = 0; c < nc; ++c) {
+      if (row[c] != 0.0) gamma[sigma[c]] += row[c];
+    }
+  }
+  return gamma;
+}
+
+double max_channel_load(const TorusRouting& r, const TrafficMatrix& lambda) {
+  // Torus channels all have unit bandwidth, so gamma_max is a plain max.
+  const auto gamma = channel_loads(r, lambda);
+  return *std::max_element(gamma.begin(), gamma.end());
+}
+
+double max_channel_load(const TorusRouting& r, const std::vector<int>& perm) {
+  const auto gamma = channel_loads(r, perm);
+  return *std::max_element(gamma.begin(), gamma.end());
+}
+
+double throughput(const TorusRouting& r, const TrafficMatrix& lambda) {
+  return 1.0 / max_channel_load(r, lambda);
+}
+
+double uniform_max_load(const TorusRouting& r) {
+  // Under uniform traffic the load on a channel equals the class-average of
+  // the canonical table: gamma = (1/N) sum_e sum_{c in class} L0[e][c].
+  const Torus& t = r.torus();
+  const DenseMatrix& l0 = r.load_table();
+  double best = 0.0;
+  for (int dir = 0; dir < kNumDirs; ++dir) {
+    double sum = 0.0;
+    for (int e = 0; e < t.num_nodes(); ++e) {
+      for (int n = 0; n < t.num_nodes(); ++n) sum += l0(e, 4 * n + dir);
+    }
+    best = std::max(best, sum / t.num_nodes());
+  }
+  return best;
+}
+
+double uniform_capacity_fraction(const TorusRouting& r) {
+  return r.torus().ideal_uniform_load() / uniform_max_load(r);
+}
+
+}  // namespace tcr

@@ -1,0 +1,36 @@
+// Channel-load and throughput metrics (paper §2.3, §3.1).
+//
+// All quantities derive from the canonical load table of a TorusRouting:
+// the load of pair (s, d) on channel c equals L0[d - s][c translated by -s].
+#pragma once
+
+#include <vector>
+
+#include "tcr/routing/routing.hpp"
+#include "tcr/traffic/traffic.hpp"
+
+namespace tcr {
+
+/// gamma_c for every channel under traffic pattern lambda (eq. 2).
+std::vector<double> channel_loads(const TorusRouting& r, const TrafficMatrix& lambda);
+
+/// gamma_c for a permutation pattern perm[s] = d (cheaper than a dense
+/// matrix).
+std::vector<double> channel_loads(const TorusRouting& r, const std::vector<int>& perm);
+
+/// gamma_max = max_c gamma_c / b_c (eq. 3; torus channels have b_c = 1).
+double max_channel_load(const TorusRouting& r, const TrafficMatrix& lambda);
+double max_channel_load(const TorusRouting& r, const std::vector<int>& perm);
+
+/// Theta(R, lambda) = 1 / gamma_max (eq. 4).
+double throughput(const TorusRouting& r, const TrafficMatrix& lambda);
+
+/// gamma_max under uniform traffic, using translation symmetry (one pass
+/// over the load table).
+double uniform_max_load(const TorusRouting& r);
+
+/// Theta(R, U) / capacity: how much of the network's ideal capacity the
+/// algorithm realizes on uniform traffic (1.0 for capacity-optimal routing).
+double uniform_capacity_fraction(const TorusRouting& r);
+
+}  // namespace tcr

@@ -1,0 +1,47 @@
+#include "tcr/metrics/worst_case.hpp"
+
+#include "tcr/util/check.hpp"
+
+namespace tcr {
+
+DenseMatrix pair_load_matrix(const TorusRouting& r, int channel) {
+  const Torus& t = r.torus();
+  const int n = t.num_nodes();
+  const DenseMatrix& l0 = r.load_table();
+  DenseMatrix w(n, n);
+  for (int s = 0; s < n; ++s) {
+    // Load of (s, d) on `channel` = canonical load of (0, d-s) on the
+    // channel translated by -s.
+    const int c = t.translate_channel(channel, t.negate_node(s));
+    for (int d = 0; d < n; ++d) w(s, d) = l0(t.offset(s, d), c);
+  }
+  return w;
+}
+
+WorstCaseResult worst_case(const TorusRouting& r) {
+  const Torus& t = r.torus();
+  WorstCaseResult best;
+  for (int dir = 0; dir < kNumDirs; ++dir) {
+    const int c0 = t.channel(0, static_cast<Dir>(dir));
+    const DenseMatrix w = pair_load_matrix(r, c0);
+    const AssignmentResult a = solve_assignment_max(w);
+    if (a.value > best.gamma) {
+      best.gamma = a.value;
+      best.channel = c0;
+      best.permutation = a.assignment;
+    }
+  }
+  return best;
+}
+
+double worst_case_throughput(const TorusRouting& r) {
+  const auto wc = worst_case(r);
+  TCR_ASSERT(wc.gamma > 0.0, "routing carries no load");
+  return 1.0 / wc.gamma;
+}
+
+double worst_case_capacity_fraction(const TorusRouting& r) {
+  return r.torus().ideal_uniform_load() * worst_case_throughput(r);
+}
+
+}  // namespace tcr

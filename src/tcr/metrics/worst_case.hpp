@@ -1,0 +1,34 @@
+// Exact worst-case throughput of a fixed oblivious routing algorithm
+// (paper §3.2, following reference [11]): it suffices to search permutation
+// traffic, and the worst permutation for one channel is a maximum-weight
+// bipartite matching with weights W[s][d] = unit load of pair (s, d) on the
+// channel. Translation symmetry reduces the channel scan to the four
+// representative channels at node 0 (+X, -X, +Y, -Y).
+#pragma once
+
+#include <vector>
+
+#include "tcr/matching/hungarian.hpp"
+#include "tcr/routing/routing.hpp"
+
+namespace tcr {
+
+struct WorstCaseResult {
+  double gamma = 0.0;            // gamma_wc(R): worst-case max channel load
+  int channel = -1;              // representative channel attaining it
+  std::vector<int> permutation;  // an adversarial permutation achieving it
+};
+
+/// Per-pair load matrix W[s][d] for a specific channel.
+DenseMatrix pair_load_matrix(const TorusRouting& r, int channel);
+
+/// Exact gamma_wc(R) with an adversarial witness permutation.
+WorstCaseResult worst_case(const TorusRouting& r);
+
+/// Theta_wc(R) = 1 / gamma_wc(R) (eq. 7 reciprocal).
+double worst_case_throughput(const TorusRouting& r);
+
+/// Theta_wc(R) as a fraction of network capacity — the x-axis of Figure 1.
+double worst_case_capacity_fraction(const TorusRouting& r);
+
+}  // namespace tcr

@@ -1,0 +1,43 @@
+// Dimension-order routing (DOR, Table 1) and the ring/walk helpers shared by
+// the other two-phase algorithms: packets route minimally in X first, then in
+// Y; when an offset is exactly k/2 in a dimension the two directions tie and
+// the route splits evenly between them.
+#pragma once
+
+#include <vector>
+
+#include "tcr/routing/routing.hpp"
+
+namespace tcr {
+
+TorusRouting make_dor(const Torus& torus);
+
+namespace detail {
+
+/// One way of traversing a ring offset: direction sign, hop count, and the
+/// probability a minimal router picks it (1.0, or 0.5 on a k/2 tie).
+struct RingChoice {
+  int sign = 1;
+  int len = 0;
+  double prob = 1.0;
+};
+
+/// Minimal choices for a ring offset delta in [0, k).
+std::vector<RingChoice> minimal_ring_choices(int k, int delta);
+
+/// Append `len` steps in dimension X (x_dim) or Y with direction `sign` to a
+/// node walk ending at walk.back().
+void append_ring_walk(const Torus& t, std::vector<int>& walk, bool x_dim, int sign, int len);
+
+struct WeightedWalk {
+  std::vector<int> walk;
+  double prob = 1.0;
+};
+
+/// All DOR walks from `from` to `to`; x_first = false gives YX order (the
+/// reversal IVAL uses for its second phase).
+std::vector<WeightedWalk> dor_walks(const Torus& t, int from, int to, bool x_first);
+
+}  // namespace detail
+
+}  // namespace tcr

@@ -1,0 +1,192 @@
+#include "tcr/routing/general.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "tcr/util/check.hpp"
+
+namespace tcr {
+
+GeneralRouting::GeneralRouting(const Digraph& graph, std::string name)
+    : graph_(&graph),
+      name_(std::move(name)),
+      paths_(static_cast<std::size_t>(graph.num_nodes()) * graph.num_nodes()) {}
+
+void GeneralRouting::add_path(int s, int d, Path p, double probability) {
+  const int n = graph_->num_nodes();
+  TCR_REQUIRE(s >= 0 && s < n && d >= 0 && d < n, "pair out of range");
+  TCR_REQUIRE(p.src == s && p.dst == d, "path endpoints must match the pair");
+  TCR_REQUIRE(probability >= 0.0, "probability must be non-negative");
+  if (probability == 0.0) return;
+  auto& list = paths_[s * n + d];
+  for (auto& wp : list) {
+    if (wp.path == p) {
+      wp.weight += probability;
+      return;
+    }
+  }
+  list.push_back({std::move(p), probability});
+}
+
+void GeneralRouting::validate(double tol) const {
+  const int n = graph_->num_nodes();
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      if (s == d) continue;
+      double sum = 0.0;
+      for (const auto& wp : paths(s, d)) {
+        TCR_REQUIRE(wp.weight >= -tol, name_ + ": negative path probability");
+        TCR_REQUIRE(path_is_valid(*graph_, wp.path), name_ + ": malformed path");
+        TCR_REQUIRE(path_channel_simple(wp.path), name_ + ": path revisits a channel");
+        sum += wp.weight;
+      }
+      TCR_REQUIRE(std::abs(sum - 1.0) <= tol,
+                  name_ + ": pair probabilities must sum to 1");
+    }
+  }
+}
+
+void GeneralRouting::normalize() {
+  const int n = graph_->num_nodes();
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      if (s == d) continue;
+      auto& list = paths_[s * n + d];
+      double sum = 0.0;
+      for (const auto& wp : list) sum += wp.weight;
+      TCR_REQUIRE(sum > 0.0, "cannot normalize pair with zero mass");
+      for (auto& wp : list) wp.weight /= sum;
+    }
+  }
+}
+
+DenseMatrix GeneralRouting::pair_load_matrix(int channel) const {
+  const int n = graph_->num_nodes();
+  DenseMatrix w(n, n);
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      double load = 0.0;
+      for (const auto& wp : paths(s, d)) {
+        for (int c : wp.path.channels) {
+          if (c == channel) load += wp.weight;
+        }
+      }
+      w(s, d) = load;
+    }
+  }
+  return w;
+}
+
+std::vector<double> GeneralRouting::channel_loads(const TrafficMatrix& lambda) const {
+  const int n = graph_->num_nodes();
+  TCR_REQUIRE(lambda.rows() == n && lambda.cols() == n, "traffic matrix size mismatch");
+  std::vector<double> gamma(static_cast<std::size_t>(graph_->num_channels()), 0.0);
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      const double w = lambda(s, d);
+      if (w == 0.0) continue;
+      for (const auto& wp : paths(s, d)) {
+        for (int c : wp.path.channels) gamma[c] += w * wp.weight;
+      }
+    }
+  }
+  return gamma;
+}
+
+double GeneralRouting::max_channel_load(const TrafficMatrix& lambda) const {
+  const auto gamma = channel_loads(lambda);
+  double m = 0.0;
+  for (int c = 0; c < graph_->num_channels(); ++c) {
+    m = std::max(m, gamma[c] / graph_->channel(c).bandwidth);
+  }
+  return m;
+}
+
+double GeneralRouting::avg_path_length() const {
+  const int n = graph_->num_nodes();
+  double total = 0.0;
+  for (const auto& list : paths_) {
+    for (const auto& wp : list) total += wp.weight * wp.path.length();
+  }
+  return total / (static_cast<double>(n) * n);
+}
+
+double GeneralRouting::normalized_locality() const {
+  return avg_path_length() / graph_->mean_min_distance();
+}
+
+GeneralWorstCase worst_case(const GeneralRouting& r) {
+  GeneralWorstCase best;
+  for (int c = 0; c < r.graph().num_channels(); ++c) {
+    DenseMatrix w = r.pair_load_matrix(c);
+    const double b = r.graph().channel(c).bandwidth;
+    const AssignmentResult a = solve_assignment_max(w);
+    if (a.value / b > best.gamma) {
+      best.gamma = a.value / b;
+      best.channel = c;
+      best.permutation = a.assignment;
+    }
+  }
+  return best;
+}
+
+std::vector<WeightedPath> decompose_flow(const Digraph& g, int s, int d,
+                                         std::vector<double> flow, double eps) {
+  TCR_REQUIRE(s != d, "source and destination must differ");
+  std::vector<WeightedPath> out;
+  const int n = g.num_nodes();
+  std::vector<int> pred(static_cast<std::size_t>(n));
+  for (;;) {
+    std::fill(pred.begin(), pred.end(), -1);
+    std::queue<int> q;
+    q.push(s);
+    pred[s] = -2;
+    while (!q.empty() && pred[d] == -1) {
+      const int nd = q.front();
+      q.pop();
+      for (int c : g.out_channels(nd)) {
+        if (flow[c] <= eps) continue;
+        const int to = g.channel(c).dst;
+        if (pred[to] == -1) {
+          pred[to] = c;
+          q.push(to);
+        }
+      }
+    }
+    if (pred[d] == -1) break;
+    std::vector<int> channels;
+    double delta = std::numeric_limits<double>::infinity();
+    for (int nd = d; nd != s;) {
+      const int c = pred[nd];
+      channels.push_back(c);
+      delta = std::min(delta, flow[c]);
+      nd = g.channel(c).src;
+    }
+    std::reverse(channels.begin(), channels.end());
+    for (int c : channels) flow[c] -= delta;
+    out.push_back({Path{s, d, std::move(channels)}, delta});
+  }
+  return out;
+}
+
+GeneralRouting routing_from_flows(const Digraph& g,
+                                  const std::vector<std::vector<double>>& flows,
+                                  std::string name) {
+  const int n = g.num_nodes();
+  TCR_REQUIRE(static_cast<int>(flows.size()) == n * n, "flows must cover all pairs");
+  GeneralRouting r(g, std::move(name));
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      if (s == d) continue;
+      for (auto& wp : decompose_flow(g, s, d, flows[s * n + d])) {
+        r.add_path(s, d, std::move(wp.path), wp.weight);
+      }
+    }
+  }
+  r.normalize();
+  return r;
+}
+
+}  // namespace tcr

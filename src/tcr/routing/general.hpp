@@ -1,0 +1,81 @@
+// Oblivious routing on arbitrary digraphs (paper §2 is topology-agnostic;
+// only §5 specializes to tori). GeneralRouting stores an explicit path
+// distribution per source-destination pair and supports the same metrics as
+// the torus fast path — channel loads, locality, and exact worst-case
+// throughput via per-channel Hungarian matchings. Intended for small or
+// irregular networks; the torus-optimized TorusRouting remains the fast
+// path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tcr/graph/digraph.hpp"
+#include "tcr/matching/hungarian.hpp"
+#include "tcr/routing/path.hpp"
+#include "tcr/traffic/traffic.hpp"
+
+namespace tcr {
+
+class GeneralRouting {
+ public:
+  GeneralRouting(const Digraph& graph, std::string name);
+
+  const Digraph& graph() const { return *graph_; }
+  const std::string& name() const { return name_; }
+
+  /// Add a path for pair (s, d) with the given probability mass; identical
+  /// paths accumulate.
+  void add_path(int s, int d, Path p, double probability);
+
+  const std::vector<WeightedPath>& paths(int s, int d) const {
+    return paths_[s * graph_->num_nodes() + d];
+  }
+
+  /// Throws unless every s != d pair's probabilities sum to 1 and every
+  /// path is well-formed and channel-simple (constraint set of eq. 1).
+  void validate(double tol = 1e-6) const;
+  void normalize();
+
+  /// Per-pair unit load on one channel: W[s][d] (for worst-case matching).
+  DenseMatrix pair_load_matrix(int channel) const;
+
+  /// gamma_c for every channel under a traffic matrix (eq. 2),
+  /// bandwidth-normalized (eq. 3 divides by b_c at the max).
+  std::vector<double> channel_loads(const TrafficMatrix& lambda) const;
+
+  double max_channel_load(const TrafficMatrix& lambda) const;
+
+  /// Mean expected path length over all N^2 pairs (eq. 5).
+  double avg_path_length() const;
+  double normalized_locality() const;
+
+ private:
+  const Digraph* graph_;
+  std::string name_;
+  std::vector<std::vector<WeightedPath>> paths_;
+};
+
+struct GeneralWorstCase {
+  double gamma = 0.0;
+  int channel = -1;
+  std::vector<int> permutation;
+};
+
+/// Exact worst-case (bandwidth-normalized) channel load: a max-weight
+/// matching per channel — no symmetry assumed, so all C channels are
+/// scanned.
+GeneralWorstCase worst_case(const GeneralRouting& r);
+
+/// Decompose per-channel flows of one commodity into weighted s->d paths
+/// (cycle flow discarded; weights sum to the injected unit).
+std::vector<WeightedPath> decompose_flow(const Digraph& g, int s, int d,
+                                         std::vector<double> flow, double eps = 1e-9);
+
+/// Build a GeneralRouting from the arc flows returned by the general design
+/// LPs (tcr/core/arc_flow.hpp): flows[s * N + d][c].
+GeneralRouting routing_from_flows(const Digraph& g,
+                                  const std::vector<std::vector<double>>& flows,
+                                  std::string name);
+
+}  // namespace tcr

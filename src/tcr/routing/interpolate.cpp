@@ -1,0 +1,24 @@
+#include "tcr/routing/interpolate.hpp"
+
+#include "tcr/util/check.hpp"
+
+namespace tcr {
+
+TorusRouting interpolate(const TorusRouting& r1, const TorusRouting& r2, double alpha) {
+  TCR_REQUIRE(r1.torus().k() == r2.torus().k(), "interpolation requires matching topologies");
+  TCR_REQUIRE(alpha >= 0.0 && alpha <= 1.0, "alpha must lie in [0, 1]");
+  TorusRouting r(r1.torus(),
+                 r1.name() + "*" + std::to_string(alpha) + "+" + r2.name());
+  for (int e = 1; e < r1.torus().num_nodes(); ++e) {
+    for (const auto& wp : r1.paths(e)) r.add_path(e, wp.path, alpha * wp.weight);
+    for (const auto& wp : r2.paths(e)) r.add_path(e, wp.path, (1.0 - alpha) * wp.weight);
+  }
+  return r;
+}
+
+double interpolation_throughput_bound(double theta1, double theta2, double alpha) {
+  TCR_REQUIRE(theta1 > 0.0 && theta2 > 0.0, "throughputs must be positive");
+  return 1.0 / (alpha / theta1 + (1.0 - alpha) / theta2);
+}
+
+}  // namespace tcr

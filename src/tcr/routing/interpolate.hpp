@@ -1,0 +1,18 @@
+// Interpolated routing algorithms (paper §5.3, eq. 11):
+// R'(p) = alpha R1(p) + (1 - alpha) R2(p) is again a valid oblivious
+// algorithm. H_avg interpolates linearly (eq. 12) and the worst-case
+// throughput obeys the weighted-harmonic-mean lower bound (eq. 14), tight
+// whenever R1 and R2 share a worst-case permutation.
+#pragma once
+
+#include "tcr/routing/routing.hpp"
+
+namespace tcr {
+
+TorusRouting interpolate(const TorusRouting& r1, const TorusRouting& r2, double alpha);
+
+/// Lower bound (eq. 14) on the worst-case throughput of the interpolation of
+/// algorithms with worst-case throughputs theta1 and theta2.
+double interpolation_throughput_bound(double theta1, double theta2, double alpha);
+
+}  // namespace tcr

@@ -1,0 +1,122 @@
+#include "tcr/routing/path.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "tcr/util/check.hpp"
+
+namespace tcr {
+
+std::vector<int> path_nodes(const Torus& t, const Path& p) {
+  std::vector<int> nodes;
+  nodes.reserve(p.channels.size() + 1);
+  nodes.push_back(p.src);
+  int cur = p.src;
+  for (int c : p.channels) {
+    TCR_ASSERT(t.channel_src(c) == cur, "path channels must chain");
+    cur = t.channel_dst(c);
+    nodes.push_back(cur);
+  }
+  TCR_ASSERT(cur == p.dst, "path must end at dst");
+  return nodes;
+}
+
+bool path_is_valid(const Digraph& g, const Path& p) {
+  int cur = p.src;
+  for (int c : p.channels) {
+    if (c < 0 || c >= g.num_channels()) return false;
+    if (g.channel(c).src != cur) return false;
+    cur = g.channel(c).dst;
+  }
+  return cur == p.dst;
+}
+
+bool path_channel_simple(const Path& p) {
+  std::unordered_set<int> seen;
+  for (int c : p.channels) {
+    if (!seen.insert(c).second) return false;
+  }
+  return true;
+}
+
+bool path_node_simple(const Torus& t, const Path& p) {
+  const auto nodes = path_nodes(t, p);
+  std::unordered_set<int> seen;
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    if (!seen.insert(nodes[i]).second) return false;
+  }
+  // Closing back onto the source is a node revisit too (unless trivial path).
+  if (nodes.size() > 1 && seen.count(nodes.back())) return false;
+  return true;
+}
+
+int count_turns(const Torus& t, const Path& p) {
+  int turns = 0;
+  bool have_prev = false;
+  bool prev_x = false;
+  for (int c : p.channels) {
+    const bool cur_x = is_x(t.channel_dir(c));
+    if (have_prev && cur_x != prev_x) ++turns;
+    prev_x = cur_x;
+    have_prev = true;
+  }
+  return turns;
+}
+
+bool has_u_turn(const Torus& t, const Path& p) {
+  for (std::size_t i = 0; i + 1 < p.channels.size(); ++i) {
+    const Dir a = t.channel_dir(p.channels[i]);
+    const Dir b = t.channel_dir(p.channels[i + 1]);
+    if (is_x(a) == is_x(b) && sign_of(a) != sign_of(b)) return true;
+  }
+  return false;
+}
+
+Path path_from_walk(const Torus& t, const std::vector<int>& walk) {
+  TCR_REQUIRE(!walk.empty(), "walk must contain at least the source");
+  Path p;
+  p.src = walk.front();
+  p.dst = walk.back();
+  p.channels.reserve(walk.size() - 1);
+  for (std::size_t i = 0; i + 1 < walk.size(); ++i) {
+    const int from = walk[i], to = walk[i + 1];
+    bool found = false;
+    for (int d = 0; d < kNumDirs && !found; ++d) {
+      if (t.neighbor(from, static_cast<Dir>(d)) == to) {
+        p.channels.push_back(t.channel(from, static_cast<Dir>(d)));
+        found = true;
+      }
+    }
+    TCR_REQUIRE(found, "walk steps must be torus neighbors");
+  }
+  return p;
+}
+
+std::vector<int> remove_loops(const std::vector<int>& walk) {
+  std::vector<int> out;
+  out.reserve(walk.size());
+  std::unordered_map<int, int> pos;  // node -> index in out
+  for (int n : walk) {
+    auto it = pos.find(n);
+    if (it != pos.end()) {
+      // Cut the cycle: drop everything after the first occurrence.
+      for (std::size_t i = it->second + 1; i < out.size(); ++i) pos.erase(out[i]);
+      out.resize(it->second + 1);
+    } else {
+      pos.emplace(n, static_cast<int>(out.size()));
+      out.push_back(n);
+    }
+  }
+  return out;
+}
+
+Path translate_path(const Torus& t_topo, const Path& p, int t) {
+  Path q;
+  q.src = t_topo.translate_node(p.src, t);
+  q.dst = t_topo.translate_node(p.dst, t);
+  q.channels.reserve(p.channels.size());
+  for (int c : p.channels) q.channels.push_back(t_topo.translate_channel(c, t));
+  return q;
+}
+
+}  // namespace tcr

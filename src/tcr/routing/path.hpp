@@ -1,0 +1,63 @@
+// Paths and node walks.
+//
+// A Path is a channel sequence; routing algorithms build them from node
+// walks. remove_loops() implements the loop-removal of paper §5.2 /
+// Figure 3: cutting node-revisiting cycles out of a two-phase walk can only
+// reduce channel loads, so worst-case throughput never drops while the path
+// shortens — the observation behind IVAL.
+#pragma once
+
+#include <vector>
+
+#include "tcr/graph/digraph.hpp"
+#include "tcr/graph/torus.hpp"
+
+namespace tcr {
+
+struct Path {
+  int src = 0;
+  int dst = 0;
+  std::vector<int> channels;
+
+  int length() const { return static_cast<int>(channels.size()); }
+  bool operator==(const Path& other) const = default;
+};
+
+struct WeightedPath {
+  Path path;
+  double weight = 0.0;
+};
+
+/// Node sequence visited by a path on the torus (src first, dst last).
+std::vector<int> path_nodes(const Torus& t, const Path& p);
+
+/// True if the path's channels match the graph (contiguous src->dst chain).
+bool path_is_valid(const Digraph& g, const Path& p);
+
+/// True if no channel appears twice.
+bool path_channel_simple(const Path& p);
+
+/// True if no node is visited twice (torus version).
+bool path_node_simple(const Torus& t, const Path& p);
+
+/// Number of dimension changes (X<->Y turns) along a torus path.
+int count_turns(const Torus& t, const Path& p);
+
+/// True if the path never immediately reverses direction within a dimension
+/// ("u-turn", disallowed by 2TURN).
+bool has_u_turn(const Torus& t, const Path& p);
+
+/// Build a torus path from a node walk (consecutive nodes must be torus
+/// neighbors).
+Path path_from_walk(const Torus& t, const std::vector<int>& walk);
+
+/// Remove all node-revisiting loops from a walk: scan forward keeping a
+/// partial walk; when a node already on it reappears, truncate back to its
+/// first occurrence. The result is a simple walk whose channel multiset is a
+/// subset of the original's.
+std::vector<int> remove_loops(const std::vector<int>& walk);
+
+/// Translate a canonical torus path by t (translation automorphism).
+Path translate_path(const Torus& t_topo, const Path& p, int t);
+
+}  // namespace tcr

@@ -1,0 +1,57 @@
+#include "tcr/routing/rlb.hpp"
+
+#include "tcr/routing/dor.hpp"
+#include "tcr/util/check.hpp"
+
+namespace tcr {
+
+namespace {
+
+using detail::RingChoice;
+
+// Direction choices for one dimension under RLB: minimal with probability
+// (k - delta)/k, non-minimal with delta/k; RLBth pins short hops minimal.
+std::vector<RingChoice> rlb_ring_choices(int k, int delta, bool threshold) {
+  TCR_REQUIRE(delta >= 0 && delta < k, "ring offset must be reduced mod k");
+  if (delta == 0) return {{1, 0, 1.0}};
+  if (2 * delta == k) return {{1, delta, 0.5}, {-1, delta, 0.5}};
+  const int min_sign = (delta < k - delta) ? 1 : -1;
+  const int min_len = std::min(delta, k - delta);
+  const int nonmin_len = k - min_len;
+  if (threshold && 4 * min_len < k) return {{min_sign, min_len, 1.0}};
+  const double p_min = static_cast<double>(k - min_len) / k;
+  return {{min_sign, min_len, p_min}, {-min_sign, nonmin_len, 1.0 - p_min}};
+}
+
+TorusRouting make_rlb_impl(const Torus& torus, const std::string& name, bool threshold) {
+  TorusRouting r(torus, name);
+  const int k = torus.k();
+  for (int e = 1; e < torus.num_nodes(); ++e) {
+    const int dx = torus.x_of(e), dy = torus.y_of(e);
+    for (const auto& qx : rlb_ring_choices(k, dx, threshold)) {
+      for (const auto& qy : rlb_ring_choices(k, dy, threshold)) {
+        const double pick = qx.prob * qy.prob / ((qx.len + 1) * (qy.len + 1));
+        for (int a = 0; a <= qx.len; ++a) {
+          for (int b = 0; b <= qy.len; ++b) {
+            std::vector<int> walk{0};
+            detail::append_ring_walk(torus, walk, true, qx.sign, a);
+            detail::append_ring_walk(torus, walk, false, qy.sign, b);
+            detail::append_ring_walk(torus, walk, true, qx.sign, qx.len - a);
+            detail::append_ring_walk(torus, walk, false, qy.sign, qy.len - b);
+            TCR_ASSERT(walk.back() == e, "RLB walk must reach the destination");
+            r.add_path(e, path_from_walk(torus, walk), pick);
+          }
+        }
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+TorusRouting make_rlb(const Torus& torus) { return make_rlb_impl(torus, "RLB", false); }
+
+TorusRouting make_rlbth(const Torus& torus) { return make_rlb_impl(torus, "RLBth", true); }
+
+}  // namespace tcr

@@ -1,0 +1,19 @@
+// RLB and RLBth (Table 1), after Singh et al. [18].
+//
+// RLB picks, independently per dimension, the minimal direction with
+// probability (k - delta)/k and the non-minimal one with probability
+// delta/k (which exactly balances ring channel load), then routes two DOR
+// phases through an intermediate drawn uniformly from the rectangle spanned
+// in the chosen directions. RLBth forces the minimal direction whenever the
+// dimension offset is below k/4.
+#pragma once
+
+#include "tcr/routing/routing.hpp"
+
+namespace tcr {
+
+TorusRouting make_rlb(const Torus& torus);
+
+TorusRouting make_rlbth(const Torus& torus);
+
+}  // namespace tcr

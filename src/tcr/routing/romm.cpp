@@ -1,0 +1,34 @@
+#include "tcr/routing/romm.hpp"
+
+#include "tcr/routing/dor.hpp"
+#include "tcr/util/check.hpp"
+
+namespace tcr {
+
+TorusRouting make_romm(const Torus& torus) {
+  TorusRouting r(torus, "ROMM");
+  const int k = torus.k();
+  for (int e = 1; e < torus.num_nodes(); ++e) {
+    const int dx = torus.x_of(e), dy = torus.y_of(e);
+    for (const auto& qx : detail::minimal_ring_choices(k, dx)) {
+      for (const auto& qy : detail::minimal_ring_choices(k, dy)) {
+        // Intermediate uniform over the (qx.len + 1) x (qy.len + 1) rectangle.
+        const double pick = qx.prob * qy.prob / ((qx.len + 1) * (qy.len + 1));
+        for (int a = 0; a <= qx.len; ++a) {
+          for (int b = 0; b <= qy.len; ++b) {
+            std::vector<int> walk{0};
+            detail::append_ring_walk(torus, walk, true, qx.sign, a);
+            detail::append_ring_walk(torus, walk, false, qy.sign, b);
+            detail::append_ring_walk(torus, walk, true, qx.sign, qx.len - a);
+            detail::append_ring_walk(torus, walk, false, qy.sign, qy.len - b);
+            TCR_ASSERT(walk.back() == e, "ROMM walk must reach the destination");
+            r.add_path(e, path_from_walk(torus, walk), pick);
+          }
+        }
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace tcr

@@ -1,0 +1,13 @@
+// ROMM (Table 1): two-phase randomized routing that stays minimal by always
+// drawing the intermediate node from the minimal quadrant — the rectangle
+// spanned by source and destination along the minimal direction in each
+// dimension (both rectangles, split evenly, when a k/2 offset ties).
+#pragma once
+
+#include "tcr/routing/routing.hpp"
+
+namespace tcr {
+
+TorusRouting make_romm(const Torus& torus);
+
+}  // namespace tcr

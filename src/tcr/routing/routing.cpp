@@ -1,0 +1,87 @@
+#include "tcr/routing/routing.hpp"
+
+#include <cmath>
+
+#include "tcr/util/check.hpp"
+
+namespace tcr {
+
+TorusRouting::TorusRouting(const Torus& torus, std::string name)
+    : torus_(&torus), name_(std::move(name)), paths_(torus.num_nodes()) {}
+
+void TorusRouting::add_path(int e, Path p, double probability) {
+  TCR_REQUIRE(e >= 0 && e < torus().num_nodes(), "offset out of range");
+  TCR_REQUIRE(p.src == 0 && p.dst == e, "canonical path must run 0 -> e");
+  TCR_REQUIRE(probability >= 0.0, "probability must be non-negative");
+  if (probability == 0.0) return;
+  table_valid_ = false;
+  for (auto& wp : paths_[e]) {
+    if (wp.path == p) {
+      wp.weight += probability;
+      return;
+    }
+  }
+  paths_[e].push_back({std::move(p), probability});
+}
+
+std::vector<WeightedPath> TorusRouting::paths_for_pair(int s, int d) const {
+  const int e = torus().offset(s, d);
+  std::vector<WeightedPath> out;
+  out.reserve(paths_[e].size());
+  for (const auto& wp : paths_[e]) {
+    out.push_back({translate_path(torus(), wp.path, s), wp.weight});
+  }
+  return out;
+}
+
+double TorusRouting::total_probability(int e) const {
+  double sum = 0.0;
+  for (const auto& wp : paths_[e]) sum += wp.weight;
+  return sum;
+}
+
+void TorusRouting::validate(double tol) const {
+  const Digraph g = torus().graph();
+  for (int e = 0; e < torus().num_nodes(); ++e) {
+    if (e == 0) continue;  // self traffic uses the empty path
+    TCR_REQUIRE(std::abs(total_probability(e) - 1.0) <= tol,
+                name_ + ": path probabilities for offset must sum to 1");
+    for (const auto& wp : paths_[e]) {
+      TCR_REQUIRE(wp.weight >= -tol, name_ + ": negative path probability");
+      TCR_REQUIRE(path_is_valid(g, wp.path), name_ + ": malformed path");
+      TCR_REQUIRE(path_channel_simple(wp.path), name_ + ": path revisits a channel");
+    }
+  }
+}
+
+void TorusRouting::normalize() {
+  table_valid_ = false;
+  for (int e = 1; e < torus().num_nodes(); ++e) {
+    const double sum = total_probability(e);
+    TCR_REQUIRE(sum > 0.0, "cannot normalize offset with zero mass");
+    for (auto& wp : paths_[e]) wp.weight /= sum;
+  }
+}
+
+const DenseMatrix& TorusRouting::load_table() const {
+  if (!table_valid_) {
+    load_table_ = DenseMatrix(torus().num_nodes(), torus().num_channels());
+    for (int e = 0; e < torus().num_nodes(); ++e) {
+      for (const auto& wp : paths_[e]) {
+        for (int c : wp.path.channels) load_table_(e, c) += wp.weight;
+      }
+    }
+    table_valid_ = true;
+  }
+  return load_table_;
+}
+
+double TorusRouting::avg_path_length() const {
+  return load_table().sum() / torus().num_nodes();
+}
+
+double TorusRouting::normalized_locality() const {
+  return avg_path_length() / torus().mean_min_distance();
+}
+
+}  // namespace tcr

@@ -1,0 +1,67 @@
+// Oblivious routing algorithms on the torus, in the canonical (translation-
+// invariant) representation the paper's symmetry reduction uses (§4):
+// a probability distribution over paths from node 0 to every offset e.
+// Paths for an arbitrary pair (s, d) are the canonical paths of offset
+// e = d - s translated by s.
+//
+// The canonical *load table* L0[e][c] — the expected number of traversals of
+// channel c by a unit flow from 0 to e — is the object every metric needs:
+//   H_avg      = (1/N) sum_{e,c} L0[e][c]                        (eq. 5)
+//   gamma_c    = sum_{s,d} lambda[s][d] * L0[d-s][c translated]  (eq. 2)
+//   worst case = max-weight matching over W[s][d] (see metrics/)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tcr/lin/dense_matrix.hpp"
+#include "tcr/routing/path.hpp"
+
+namespace tcr {
+
+class TorusRouting {
+ public:
+  TorusRouting(const Torus& torus, std::string name);
+
+  const Torus& torus() const { return *torus_; }
+  const std::string& name() const { return name_; }
+
+  /// Add a canonical path for offset e (must run from node 0 to node e)
+  /// with the given probability mass. Identical paths accumulate.
+  void add_path(int e, Path p, double probability);
+
+  /// Paths for offset e (e != 0; offset 0 has the empty path).
+  const std::vector<WeightedPath>& paths(int e) const { return paths_[e]; }
+
+  /// Paths for an arbitrary pair, translated from the canonical set.
+  std::vector<WeightedPath> paths_for_pair(int s, int d) const;
+
+  /// Total probability mass per offset (1.0 for a valid algorithm).
+  double total_probability(int e) const;
+
+  /// Throws if any offset's probabilities do not sum to 1, any path is
+  /// malformed, or any probability is negative (constraint set of eq. 1).
+  void validate(double tol = 1e-6) const;
+
+  /// Rescale each offset's weights to sum exactly to 1.
+  void normalize();
+
+  /// N x C canonical load table (computed once, cached).
+  const DenseMatrix& load_table() const;
+
+  /// Mean path length over all pairs = mean over offsets (eq. 5).
+  double avg_path_length() const;
+
+  /// avg_path_length / mean minimal distance (the paper's normalized
+  /// "average path length", >= 1).
+  double normalized_locality() const;
+
+ private:
+  const Torus* torus_;  // non-owning; pointer keeps the type assignable
+  std::string name_;
+  std::vector<std::vector<WeightedPath>> paths_;
+  mutable DenseMatrix load_table_;
+  mutable bool table_valid_ = false;
+};
+
+}  // namespace tcr

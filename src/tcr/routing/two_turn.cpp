@@ -1,0 +1,134 @@
+#include "tcr/routing/two_turn.hpp"
+
+#include "tcr/routing/dor.hpp"
+#include "tcr/util/check.hpp"
+
+namespace tcr {
+
+namespace {
+
+// Directed run lengths that realize ring offset delta: +delta or -(k-delta).
+struct Run {
+  int sign;
+  int len;
+};
+
+std::vector<Run> runs_for(int k, int delta, bool allow_empty) {
+  std::vector<Run> out;
+  if (delta == 0) {
+    if (allow_empty) out.push_back({1, 0});
+    return out;
+  }
+  out.push_back({1, delta});
+  out.push_back({-1, k - delta});
+  return out;
+}
+
+void emit(const Torus& t, std::vector<Path>& out, int e,
+          const std::vector<std::pair<bool, Run>>& segments) {
+  std::vector<int> walk{0};
+  for (const auto& [x_dim, run] : segments) {
+    detail::append_ring_walk(t, walk, x_dim, run.sign, run.len);
+  }
+  TCR_ASSERT(walk.back() == e, "two-turn walk must reach e");
+  out.push_back(path_from_walk(t, walk));
+}
+
+}  // namespace
+
+std::vector<Path> enumerate_two_turn_paths(const Torus& torus, int e) {
+  TCR_REQUIRE(e != 0, "offset 0 has only the empty path");
+  const int k = torus.k();
+  const int dx = torus.x_of(e), dy = torus.y_of(e);
+  std::vector<Path> out;
+
+  // 0 turns: a single straight run.
+  if (dy == 0) {
+    for (const Run& rx : runs_for(k, dx, false)) emit(torus, out, e, {{true, rx}});
+  }
+  if (dx == 0) {
+    for (const Run& ry : runs_for(k, dy, false)) emit(torus, out, e, {{false, ry}});
+  }
+
+  // 1 turn: XY and YX.
+  if (dx != 0 && dy != 0) {
+    for (const Run& rx : runs_for(k, dx, false)) {
+      for (const Run& ry : runs_for(k, dy, false)) {
+        emit(torus, out, e, {{true, rx}, {false, ry}});
+        emit(torus, out, e, {{false, ry}, {true, rx}});
+      }
+    }
+  }
+
+  // 2 turns, X-Y-X: split the X travel at an intermediate column a
+  // (a != 0 and a != dx keep all three segments non-empty). The two X runs
+  // sit in different rows (dy != 0), so the path is channel-simple.
+  if (dy != 0) {
+    for (int a = 1; a < k; ++a) {
+      if (a == dx) continue;
+      const int rest = (dx - a + k) % k;
+      for (const Run& r1 : runs_for(k, a, false)) {
+        for (const Run& ry : runs_for(k, dy, false)) {
+          for (const Run& r2 : runs_for(k, rest, false)) {
+            emit(torus, out, e, {{true, r1}, {false, ry}, {true, r2}});
+          }
+        }
+      }
+    }
+  }
+
+  // 2 turns, Y-X-Y.
+  if (dx != 0) {
+    for (int b = 1; b < k; ++b) {
+      if (b == dy) continue;
+      const int rest = (dy - b + k) % k;
+      for (const Run& r1 : runs_for(k, b, false)) {
+        for (const Run& rx : runs_for(k, dx, false)) {
+          for (const Run& r2 : runs_for(k, rest, false)) {
+            emit(torus, out, e, {{false, r1}, {true, rx}, {false, r2}});
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void extend_minimal(const Torus& t, int e, std::vector<int>& walk, int x_left, int x_sign,
+                    int y_left, int y_sign, std::vector<Path>& out) {
+  if (x_left == 0 && y_left == 0) {
+    TCR_ASSERT(walk.back() == e, "minimal walk must reach e");
+    out.push_back(path_from_walk(t, walk));
+    return;
+  }
+  if (x_left > 0) {
+    walk.push_back(t.neighbor(walk.back(), x_sign > 0 ? Dir::PX : Dir::NX));
+    extend_minimal(t, e, walk, x_left - 1, x_sign, y_left, y_sign, out);
+    walk.pop_back();
+  }
+  if (y_left > 0) {
+    walk.push_back(t.neighbor(walk.back(), y_sign > 0 ? Dir::PY : Dir::NY));
+    extend_minimal(t, e, walk, x_left, x_sign, y_left - 1, y_sign, out);
+    walk.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<Path> enumerate_minimal_paths(const Torus& torus, int e) {
+  TCR_REQUIRE(e != 0, "offset 0 has only the empty path");
+  const int k = torus.k();
+  const int dx = torus.x_of(e), dy = torus.y_of(e);
+  std::vector<Path> out;
+  for (const auto& qx : detail::minimal_ring_choices(k, dx)) {
+    for (const auto& qy : detail::minimal_ring_choices(k, dy)) {
+      std::vector<int> walk{0};
+      extend_minimal(torus, e, walk, qx.len, qx.sign, qy.len, qy.sign, out);
+    }
+  }
+  return out;
+}
+
+}  // namespace tcr

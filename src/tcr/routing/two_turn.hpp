@@ -1,0 +1,25 @@
+// Path-family enumeration for the paper's path-restricted designs (§5.2,
+// §5.4):
+//   * enumerate_two_turn_paths — every channel-simple, u-turn-free path with
+//     at most two X<->Y turns (the 2TURN / 2TURNA family);
+//   * enumerate_minimal_paths — every minimal path (the family whose
+//     average-case optimum matches ROMM, §5.4).
+//
+// The LP weighting of these families lives in tcr/core/path_design.hpp;
+// this header is pure combinatorics.
+#pragma once
+
+#include <vector>
+
+#include "tcr/routing/routing.hpp"
+
+namespace tcr {
+
+/// All <= 2-turn paths from node 0 to offset e (e != 0).
+std::vector<Path> enumerate_two_turn_paths(const Torus& torus, int e);
+
+/// All minimal paths from node 0 to offset e (e != 0). On a k/2 tie both
+/// minimal quadrants are included.
+std::vector<Path> enumerate_minimal_paths(const Torus& torus, int e);
+
+}  // namespace tcr

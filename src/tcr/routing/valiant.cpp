@@ -1,0 +1,42 @@
+#include "tcr/routing/valiant.hpp"
+
+#include "tcr/routing/dor.hpp"
+#include "tcr/util/check.hpp"
+
+namespace tcr {
+
+namespace {
+
+TorusRouting make_two_phase(const Torus& torus, const std::string& name, bool reverse_phase2,
+                            bool remove_path_loops) {
+  TorusRouting r(torus, name);
+  const int n = torus.num_nodes();
+  const double pick = 1.0 / n;
+  for (int e = 1; e < n; ++e) {
+    for (int i = 0; i < n; ++i) {
+      const auto phase1 = detail::dor_walks(torus, 0, i, /*x_first=*/true);
+      const auto phase2 = detail::dor_walks(torus, i, e, /*x_first=*/!reverse_phase2);
+      for (const auto& w1 : phase1) {
+        for (const auto& w2 : phase2) {
+          std::vector<int> walk = w1.walk;
+          walk.insert(walk.end(), w2.walk.begin() + 1, w2.walk.end());
+          if (remove_path_loops) walk = remove_loops(walk);
+          r.add_path(e, path_from_walk(torus, walk), pick * w1.prob * w2.prob);
+        }
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+TorusRouting make_valiant(const Torus& torus) {
+  return make_two_phase(torus, "VAL", /*reverse_phase2=*/false, /*remove_path_loops=*/false);
+}
+
+TorusRouting make_ival(const Torus& torus) {
+  return make_two_phase(torus, "IVAL", /*reverse_phase2=*/true, /*remove_path_loops=*/true);
+}
+
+}  // namespace tcr

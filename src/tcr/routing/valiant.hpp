@@ -1,0 +1,22 @@
+// Valiant's randomized routing (VAL, Table 1) and the paper's improved
+// variant (IVAL, §5.2).
+//
+// VAL:  route DOR(XY) from s to a uniformly random intermediate i, then
+//       DOR(XY) from i to d. Perfectly load-balanced, path length exactly
+//       twice minimal on average.
+// IVAL: phase 1 uses XY order, phase 2 uses YX order, and node-revisiting
+//       loops in the concatenated walk are removed (Figure 3). Loop removal
+//       only sheds channel load, so IVAL keeps VAL's optimal worst-case
+//       throughput (cap/2) while cutting the average path length to about
+//       1.61x minimal on the 8-ary 2-cube.
+#pragma once
+
+#include "tcr/routing/routing.hpp"
+
+namespace tcr {
+
+TorusRouting make_valiant(const Torus& torus);
+
+TorusRouting make_ival(const Torus& torus);
+
+}  // namespace tcr

@@ -1,0 +1,65 @@
+#include "tcr/sim/network.hpp"
+
+#include "tcr/util/check.hpp"
+
+namespace tcr {
+
+bool crosses_dateline(const Torus& t, int c) {
+  const Dir d = t.channel_dir(c);
+  const int src = t.channel_src(c);
+  const int coord = is_x(d) ? t.x_of(src) : t.y_of(src);
+  return sign_of(d) > 0 ? coord == t.k() - 1 : coord == 0;
+}
+
+int required_vc_sets(const Torus& t, const Path& p) {
+  int sets = 1;
+  bool have_prev = false, prev_x = false;
+  int prev_sign = 0;
+  for (int c : p.channels) {
+    const bool cur_x = is_x(t.channel_dir(c));
+    const int cur_sign = sign_of(t.channel_dir(c));
+    if (have_prev) {
+      // Y -> X turns and in-dimension u-turns (a two-phase algorithm
+      // reversing direction, i.e. a phase boundary) both open a new set.
+      if (cur_x && !prev_x) ++sets;
+      if (cur_x == prev_x && cur_sign != prev_sign) ++sets;
+    }
+    prev_x = cur_x;
+    prev_sign = cur_sign;
+    have_prev = true;
+  }
+  return sets;
+}
+
+std::vector<int> assign_vcs(const Torus& t, const Path& p, int vcs_available) {
+  std::vector<int> vcs;
+  vcs.reserve(p.channels.size());
+  int set = 0;
+  int bit = 0;
+  bool have_prev = false, prev_x = false;
+  int prev_sign = 0;
+  for (int c : p.channels) {
+    const bool cur_x = is_x(t.channel_dir(c));
+    const int cur_sign = sign_of(t.channel_dir(c));
+    if (have_prev && cur_x != prev_x) {
+      if (cur_x) ++set;  // Y -> X turn opens a new VC set
+      bit = 0;           // a new ring starts at its low VC
+    }
+    if (have_prev && cur_x == prev_x && cur_sign != prev_sign) {
+      ++set;  // in-dimension u-turn: phase boundary of a two-phase route
+      bit = 0;
+    }
+    // The buffer downstream of a wrap channel (and every later hop in the
+    // ring) lives on the high VC — this is what breaks the ring cycle.
+    if (crosses_dateline(t, c)) bit = 1;
+    const int vc = 2 * set + bit;
+    TCR_REQUIRE(vc < vcs_available, "path needs more virtual channels than available");
+    vcs.push_back(vc);
+    prev_x = cur_x;
+    prev_sign = cur_sign;
+    have_prev = true;
+  }
+  return vcs;
+}
+
+}  // namespace tcr

@@ -1,0 +1,28 @@
+// Virtual-channel assignment for source-routed packets on the torus.
+//
+// Paper §5.2: DOR needs two virtual channels (dateline rule of Dally-Seitz
+// [20]); VAL/IVAL/2TURN need four — a packet switches to a second VC *set*
+// after its (single possible) Y->X turn, and within a set the dateline bit
+// breaks intra-ring cycles. assign_vcs() implements exactly that discipline:
+// vc = 2 * (number of Y->X turns so far) + dateline bit.
+#pragma once
+
+#include <vector>
+
+#include "tcr/routing/path.hpp"
+
+namespace tcr {
+
+/// Number of VC sets a path requires under the turn discipline
+/// (1 + number of Y->X turns). DOR paths need 1 set (2 VCs); any <=2-turn
+/// path needs at most 2 sets (4 VCs).
+int required_vc_sets(const Torus& t, const Path& p);
+
+/// Per-hop virtual channel for a path. Throws if the needed VC exceeds
+/// `vcs_available`.
+std::vector<int> assign_vcs(const Torus& t, const Path& p, int vcs_available);
+
+/// True if traversing channel c crosses its ring's dateline (the wrap edge).
+bool crosses_dateline(const Torus& t, int c);
+
+}  // namespace tcr

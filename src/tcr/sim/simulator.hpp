@@ -1,0 +1,98 @@
+// Cycle-based flit-level network simulator for k-ary 2-cubes.
+//
+// Deliberately close to the paper's idealization (§2.1): single-flit
+// packets, per-VC input buffering with credit (space) checks, one flit per
+// channel per cycle, one ejection per node per cycle, round-robin output
+// arbitration. Packets are source-routed along paths sampled from an
+// oblivious routing algorithm and carry the VC schedule computed by
+// assign_vcs(). A watchdog flags deadlock (occupied network with no flit
+// movement for a configurable number of cycles) — this is how the library
+// *tests* the paper's virtual-channel claims instead of assuming them.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "tcr/sim/network.hpp"
+#include "tcr/sim/traffic_gen.hpp"
+
+namespace tcr {
+
+struct SimConfig {
+  int vcs = 4;               // virtual channels per physical channel
+  int buffer_depth = 4;      // flits per VC buffer
+  int warmup_cycles = 2000;
+  int measure_cycles = 8000;
+  int drain_cycles = 20000;       // post-measurement drain budget
+  int deadlock_threshold = 2000;  // quiet cycles before declaring deadlock
+  std::uint64_t seed = 42;
+};
+
+struct SimStats {
+  bool deadlocked = false;
+  long injected = 0;
+  long ejected = 0;
+  double offered_rate = 0.0;   // injections per node per cycle (measurement window)
+  double accepted_rate = 0.0;  // ejections per node per cycle (measurement window)
+  double avg_latency = 0.0;    // cycles, injection to ejection
+  long cycles_run = 0;
+};
+
+class Simulator {
+ public:
+  Simulator(const TorusRouting& routing, TrafficGen& gen, const SimConfig& config);
+
+  /// Run warmup + measurement (+ drain); returns collected statistics.
+  SimStats run();
+
+ private:
+  struct Packet {
+    int dst = 0;
+    std::vector<int> channels;
+    std::vector<int> vcs;
+    int hop = 0;  // index of the next channel to traverse
+    long injected_at = 0;
+    long moved_stamp = -1;  // cycle of the last traversal (one hop per cycle)
+    bool measured = false;
+  };
+
+  int buffer_index(int channel, int vc) const { return channel * cfg_.vcs + vc; }
+  void step();
+  bool network_empty() const;
+
+  const Torus& torus_;
+  TrafficGen& gen_;
+  SimConfig cfg_;
+
+  // buffers_[channel * vcs + vc]: packets waiting at the downstream node of
+  // `channel`; source queues hold freshly injected packets at their source.
+  std::vector<std::deque<Packet>> buffers_;
+  std::vector<std::deque<Packet>> source_queue_;
+  std::vector<int> eject_rr_;   // per-node round-robin pointer (ejection)
+  std::vector<int> output_rr_;  // per-channel round-robin pointer
+
+  long cycle_ = 0;
+  long last_movement_ = 0;
+  bool measuring_ = false;
+  bool draining_ = false;
+  SimStats stats_;
+  double latency_sum_ = 0.0;
+  long latency_count_ = 0;
+  long measured_ejected_ = 0;
+  long measured_injected_ = 0;
+};
+
+/// Convenience wrapper: simulate `routing` under uniform or permutation
+/// traffic at the given injection rate.
+SimStats simulate(const TorusRouting& routing, double injection_rate,
+                  const std::vector<int>& perm /* empty = uniform */,
+                  const SimConfig& config = {});
+
+/// Estimate the saturation throughput (packets/node/cycle) by bisecting the
+/// injection rate for the largest rate whose accepted throughput tracks the
+/// offered load within `tol`.
+double saturation_throughput(const TorusRouting& routing, const std::vector<int>& perm,
+                             const SimConfig& config = {}, double tol = 0.05);
+
+}  // namespace tcr

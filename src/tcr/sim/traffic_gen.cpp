@@ -1,0 +1,55 @@
+#include "tcr/sim/traffic_gen.hpp"
+
+#include "tcr/util/check.hpp"
+
+namespace tcr {
+
+TrafficGen::TrafficGen(const TorusRouting& routing, double injection_rate, std::uint64_t seed)
+    : routing_(routing), rate_(injection_rate), rng_(seed) {
+  TCR_REQUIRE(injection_rate >= 0.0 && injection_rate <= 1.0,
+              "injection rate must lie in [0, 1]");
+  cumulative_.resize(routing.torus().num_nodes());
+}
+
+TrafficGen::TrafficGen(const TorusRouting& routing, double injection_rate,
+                       std::vector<int> perm, std::uint64_t seed)
+    : TrafficGen(routing, injection_rate, seed) {
+  TCR_REQUIRE(static_cast<int>(perm.size()) == routing.torus().num_nodes(),
+              "permutation size mismatch");
+  perm_ = std::move(perm);
+}
+
+std::optional<Path> TrafficGen::maybe_inject(int node) {
+  if (rng_.uniform() >= rate_) return std::nullopt;
+  const Torus& t = routing_.torus();
+  int dst;
+  if (perm_.empty()) {
+    dst = static_cast<int>(rng_.below(t.num_nodes()));
+  } else {
+    dst = perm_[node];
+  }
+  if (dst == node) return std::nullopt;
+  return sample_path(node, dst);
+}
+
+Path TrafficGen::sample_path(int src, int dst) {
+  const Torus& t = routing_.torus();
+  const int e = t.offset(src, dst);
+  const auto& paths = routing_.paths(e);
+  TCR_REQUIRE(!paths.empty(), "routing offers no path for requested pair");
+  auto& cum = cumulative_[e];
+  if (cum.empty()) {
+    cum.reserve(paths.size());
+    double acc = 0.0;
+    for (const auto& wp : paths) {
+      acc += wp.weight;
+      cum.push_back(acc);
+    }
+  }
+  const double u = rng_.uniform() * cum.back();
+  std::size_t idx = std::lower_bound(cum.begin(), cum.end(), u) - cum.begin();
+  if (idx >= paths.size()) idx = paths.size() - 1;
+  return translate_path(t, paths[idx].path, src);
+}
+
+}  // namespace tcr

@@ -1,0 +1,41 @@
+// Packet sources for the flit simulator: Bernoulli injection at a configured
+// rate, destinations drawn from a traffic pattern (uniform or a fixed
+// permutation), and paths sampled from an oblivious routing algorithm's
+// canonical distribution (translated to the actual source).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "tcr/routing/routing.hpp"
+#include "tcr/util/rng.hpp"
+
+namespace tcr {
+
+class TrafficGen {
+ public:
+  /// Uniform destinations.
+  TrafficGen(const TorusRouting& routing, double injection_rate, std::uint64_t seed);
+  /// Fixed permutation destinations (perm[s] = d).
+  TrafficGen(const TorusRouting& routing, double injection_rate, std::vector<int> perm,
+             std::uint64_t seed);
+
+  /// Packet (destination + sampled path) injected at `node` this cycle, if
+  /// the Bernoulli coin says so. Self-addressed uniform picks are dropped
+  /// (they never enter the network).
+  std::optional<Path> maybe_inject(int node);
+
+  double injection_rate() const { return rate_; }
+
+ private:
+  Path sample_path(int src, int dst);
+
+  const TorusRouting& routing_;
+  double rate_;
+  std::vector<int> perm_;  // empty = uniform
+  Rng rng_;
+  // Per-offset cumulative weights for fast path sampling.
+  std::vector<std::vector<double>> cumulative_;
+};
+
+}  // namespace tcr

@@ -1,0 +1,81 @@
+#include "tcr/traffic/patterns.hpp"
+
+#include <algorithm>
+
+#include "tcr/util/check.hpp"
+
+namespace tcr {
+
+TrafficMatrix uniform_traffic(int num_nodes) {
+  TCR_REQUIRE(num_nodes > 0, "need at least one node");
+  TrafficMatrix t(num_nodes, num_nodes, 1.0 / num_nodes);
+  return t;
+}
+
+std::vector<int> transpose_permutation(const Torus& t) {
+  std::vector<int> p(static_cast<std::size_t>(t.num_nodes()));
+  for (int n = 0; n < t.num_nodes(); ++n) p[n] = t.node(t.y_of(n), t.x_of(n));
+  return p;
+}
+
+std::vector<int> tornado_permutation(const Torus& t) {
+  const int half = (t.k() + 1) / 2 - 1;  // ceil(k/2) - 1 hops in +X
+  std::vector<int> p(static_cast<std::size_t>(t.num_nodes()));
+  for (int n = 0; n < t.num_nodes(); ++n) p[n] = t.node(t.x_of(n) + half, t.y_of(n));
+  return p;
+}
+
+std::vector<int> complement_permutation(const Torus& t) {
+  std::vector<int> p(static_cast<std::size_t>(t.num_nodes()));
+  for (int n = 0; n < t.num_nodes(); ++n)
+    p[n] = t.node(t.k() - 1 - t.x_of(n), t.k() - 1 - t.y_of(n));
+  return p;
+}
+
+std::vector<int> shift_permutation(const Torus& t) {
+  std::vector<int> p(static_cast<std::size_t>(t.num_nodes()));
+  for (int n = 0; n < t.num_nodes(); ++n) p[n] = t.node(t.x_of(n) + 1, t.y_of(n));
+  return p;
+}
+
+std::vector<int> bit_reverse_permutation(int num_nodes) {
+  TCR_REQUIRE(num_nodes > 0, "need at least one node");
+  int bits = 0;
+  while ((1 << bits) < num_nodes) ++bits;
+  auto reverse = [bits](int v) {
+    int r = 0;
+    for (int b = 0; b < bits; ++b) {
+      if (v & (1 << b)) r |= 1 << (bits - 1 - b);
+    }
+    return r;
+  };
+  std::vector<int> p(static_cast<std::size_t>(num_nodes));
+  for (int n = 0; n < num_nodes; ++n) p[n] = n;
+  // Swap-based fold keeps the map a permutation even when N is not a power
+  // of two: apply the involution only where both endpoints are in range.
+  for (int n = 0; n < num_nodes; ++n) {
+    const int r = reverse(n);
+    if (r < num_nodes && r > n) std::swap(p[n], p[r]);
+  }
+  return p;
+}
+
+std::vector<int> rotation_permutation(const Torus& t) {
+  std::vector<int> p(static_cast<std::size_t>(t.num_nodes()));
+  for (int n = 0; n < t.num_nodes(); ++n)
+    p[n] = t.node(t.y_of(n), t.k() - 1 - t.x_of(n));
+  return p;
+}
+
+std::vector<int> named_permutation(const Torus& t, const std::string& name) {
+  if (name == "transpose") return transpose_permutation(t);
+  if (name == "tornado") return tornado_permutation(t);
+  if (name == "complement") return complement_permutation(t);
+  if (name == "shift") return shift_permutation(t);
+  if (name == "bitrev") return bit_reverse_permutation(t.num_nodes());
+  if (name == "rotate") return rotation_permutation(t);
+  TCR_REQUIRE(false, "unknown pattern name: " + name);
+  return {};
+}
+
+}  // namespace tcr

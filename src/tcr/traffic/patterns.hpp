@@ -1,0 +1,44 @@
+// Canonical traffic patterns for k-ary 2-cubes: uniform plus the adversarial
+// permutations customary in the oblivious-routing literature (used as named
+// workloads in examples, tests and the simulator).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tcr/graph/torus.hpp"
+#include "tcr/traffic/traffic.hpp"
+
+namespace tcr {
+
+/// Uniform traffic U: every source sends to every destination with
+/// probability 1/N (paper §3.1, including d == s).
+TrafficMatrix uniform_traffic(int num_nodes);
+
+/// Transpose: (x, y) -> (y, x).
+std::vector<int> transpose_permutation(const Torus& t);
+
+/// Tornado: (x, y) -> (x + ceil(k/2) - 1, y), the classic torus adversary.
+std::vector<int> tornado_permutation(const Torus& t);
+
+/// Bit complement on the node index interpreted per dimension:
+/// (x, y) -> (k-1-x, k-1-y).
+std::vector<int> complement_permutation(const Torus& t);
+
+/// Neighbor shift: (x, y) -> (x + 1, y).
+std::vector<int> shift_permutation(const Torus& t);
+
+/// Bit reverse of the node index within ceil(log2(N)) bits, folded back into
+/// range by swapping only indices whose image is also in range (stays a
+/// permutation for any N).
+std::vector<int> bit_reverse_permutation(int num_nodes);
+
+/// Quadrant rotation: (x, y) -> (y, k - 1 - x) (90-degree rotation).
+std::vector<int> rotation_permutation(const Torus& t);
+
+/// Look up a pattern by name ("uniform" handled by callers; this covers the
+/// permutations: "transpose", "tornado", "complement", "shift",
+/// "bitrev", "rotate").
+std::vector<int> named_permutation(const Torus& t, const std::string& name);
+
+}  // namespace tcr

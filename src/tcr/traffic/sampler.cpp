@@ -1,0 +1,60 @@
+#include "tcr/traffic/sampler.hpp"
+
+#include <cmath>
+
+#include "tcr/util/check.hpp"
+
+namespace tcr {
+
+TrafficMatrix birkhoff_sample(Rng& rng, int n, int num_permutations) {
+  TCR_REQUIRE(num_permutations >= 1, "need at least one permutation");
+  // Dirichlet(1, ..., 1) weights via normalized exponentials.
+  std::vector<double> w(static_cast<std::size_t>(num_permutations));
+  double total = 0.0;
+  for (auto& v : w) {
+    v = -std::log(1.0 - rng.uniform());
+    total += v;
+  }
+  TrafficMatrix t(n, n);
+  for (int j = 0; j < num_permutations; ++j) {
+    const auto perm = rng.permutation(n);
+    const double weight = w[j] / total;
+    for (int s = 0; s < n; ++s) t(s, perm[s]) += weight;
+  }
+  return t;
+}
+
+TrafficMatrix sinkhorn_sample(Rng& rng, int n, int iterations) {
+  TrafficMatrix t(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) t(i, j) = -std::log(1.0 - rng.uniform());
+  for (int it = 0; it < iterations; ++it) {
+    auto rs = t.row_sums();
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j) t(i, j) /= rs[i];
+    auto cs = t.col_sums();
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j) t(i, j) /= cs[j];
+  }
+  return t;
+}
+
+std::vector<TrafficMatrix> sample_traffic_set(Rng& rng, int n, int count,
+                                              const std::string& kind) {
+  std::vector<TrafficMatrix> out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    if (kind == "perm") {
+      out.push_back(birkhoff_sample(rng, n, 1));
+    } else if (kind == "birkhoff4") {
+      out.push_back(birkhoff_sample(rng, n, 4));
+    } else if (kind == "sinkhorn") {
+      out.push_back(sinkhorn_sample(rng, n));
+    } else {
+      TCR_REQUIRE(false, "unknown sample kind: " + kind);
+    }
+  }
+  return out;
+}
+
+}  // namespace tcr

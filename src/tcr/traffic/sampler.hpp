@@ -1,0 +1,30 @@
+// Random sampling of the Birkhoff polytope (doubly-stochastic matrices).
+//
+// The paper's average-case cost (eq. 9) averages the maximum channel load
+// over a random finite subset X of traffic matrices. The sampling method is
+// unspecified there; we provide two (documented in DESIGN.md):
+//   * birkhoff_sample — convex combination of J uniformly-random permutation
+//     matrices with Dirichlet(1) weights (J = 1 gives a permutation; larger
+//     J moves toward the polytope's interior). Design LPs use J = 1 so each
+//     generated constraint row has only N nonzeros.
+//   * sinkhorn_sample — i.i.d. Exp(1) entries normalized to doubly
+//     stochastic by Sinkhorn-Knopp iteration (dense interior samples).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tcr/traffic/traffic.hpp"
+#include "tcr/util/rng.hpp"
+
+namespace tcr {
+
+TrafficMatrix birkhoff_sample(Rng& rng, int n, int num_permutations);
+
+TrafficMatrix sinkhorn_sample(Rng& rng, int n, int iterations = 60);
+
+/// A batch of samples; kind = "perm" (J=1), "birkhoff4" (J=4) or "sinkhorn".
+std::vector<TrafficMatrix> sample_traffic_set(Rng& rng, int n, int count,
+                                              const std::string& kind = "sinkhorn");
+
+}  // namespace tcr

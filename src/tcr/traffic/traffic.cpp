@@ -1,0 +1,46 @@
+#include "tcr/traffic/traffic.hpp"
+
+#include <cmath>
+
+#include "tcr/util/check.hpp"
+
+namespace tcr {
+
+double doubly_stochastic_error(const TrafficMatrix& t) {
+  TCR_REQUIRE(t.rows() == t.cols(), "traffic matrix must be square");
+  double err = 0.0;
+  for (double s : t.row_sums()) err = std::max(err, std::abs(s - 1.0));
+  for (double s : t.col_sums()) err = std::max(err, std::abs(s - 1.0));
+  for (int i = 0; i < t.rows(); ++i)
+    for (int j = 0; j < t.cols(); ++j) err = std::max(err, -t(i, j));
+  return err;
+}
+
+bool is_doubly_stochastic(const TrafficMatrix& t, double tol) {
+  return doubly_stochastic_error(t) <= tol;
+}
+
+TrafficMatrix permutation_matrix(const std::vector<int>& perm) {
+  const int n = static_cast<int>(perm.size());
+  TrafficMatrix t(n, n);
+  std::vector<char> seen(n, 0);
+  for (int s = 0; s < n; ++s) {
+    TCR_REQUIRE(perm[s] >= 0 && perm[s] < n && !seen[perm[s]], "not a permutation");
+    seen[perm[s]] = 1;
+    t(s, perm[s]) = 1.0;
+  }
+  return t;
+}
+
+bool is_permutation(const TrafficMatrix& t, double tol) {
+  if (t.rows() != t.cols()) return false;
+  if (!is_doubly_stochastic(t, tol)) return false;
+  for (int i = 0; i < t.rows(); ++i)
+    for (int j = 0; j < t.cols(); ++j) {
+      const double v = t(i, j);
+      if (v > tol && std::abs(v - 1.0) > tol) return false;
+    }
+  return true;
+}
+
+}  // namespace tcr

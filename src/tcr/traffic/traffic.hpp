@@ -1,0 +1,25 @@
+// Traffic matrices (paper §2.3): lambda[s][d] is the fraction of source s's
+// injection bandwidth destined to d. Admissible matrices are doubly
+// stochastic (rows and columns sum to one).
+#pragma once
+
+#include <vector>
+
+#include "tcr/lin/dense_matrix.hpp"
+
+namespace tcr {
+
+using TrafficMatrix = DenseMatrix;
+
+/// Max deviation of any row/column sum from 1 (0 for exactly admissible).
+double doubly_stochastic_error(const TrafficMatrix& t);
+
+bool is_doubly_stochastic(const TrafficMatrix& t, double tol = 1e-9);
+
+/// Build a permutation traffic matrix from perm[s] = d.
+TrafficMatrix permutation_matrix(const std::vector<int>& perm);
+
+/// Is the matrix a 0/1 permutation matrix?
+bool is_permutation(const TrafficMatrix& t, double tol = 1e-12);
+
+}  // namespace tcr

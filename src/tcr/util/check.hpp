@@ -1,0 +1,40 @@
+// Error handling primitives for the tcr library.
+//
+// TCR_REQUIRE is for validating API preconditions (throws tcr::Error so a
+// caller can recover); TCR_ASSERT is for internal invariants (also throws,
+// so unit tests can observe violations deterministically in all build types).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tcr {
+
+/// Exception type thrown on precondition or invariant violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* kind, const char* cond, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << cond << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace tcr
+
+#define TCR_REQUIRE(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) ::tcr::detail::fail("precondition", #cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define TCR_ASSERT(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond)) ::tcr::detail::fail("invariant", #cond, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,45 @@
+#include "tcr/util/cli.hpp"
+
+#include <string_view>
+
+#include "tcr/util/check.hpp"
+
+namespace tcr {
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg.rfind("--", 0) != 0) continue;
+    arg.remove_prefix(2);
+    auto eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    } else if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[std::string(arg)] = argv[++i];
+    } else {
+      values_[std::string(arg)] = "";  // boolean switch
+    }
+  }
+}
+
+int Cli::get_int(const std::string& name, int fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  return std::stoi(it->second);
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  return std::stod(it->second);
+}
+
+std::string Cli::get_string(const std::string& name, const std::string& fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  return it->second;
+}
+
+bool Cli::has(const std::string& name) const { return values_.count(name) > 0; }
+
+}  // namespace tcr

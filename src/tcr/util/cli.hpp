@@ -1,0 +1,24 @@
+// Tiny command-line flag parser shared by the benchmark binaries and
+// examples: supports `--name value` and `--name=value` for int/double/string
+// flags plus boolean switches.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace tcr {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  int get_int(const std::string& name, int fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  std::string get_string(const std::string& name, const std::string& fallback) const;
+  bool has(const std::string& name) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace tcr

@@ -1,0 +1,21 @@
+// Wall-clock stopwatch for benchmark reporting.
+#pragma once
+
+#include <chrono>
+
+namespace tcr {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace tcr

@@ -1,0 +1,35 @@
+// Plain-text table and CSV emitters used by benchmarks and examples to print
+// the rows/series of the paper's tables and figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tcr {
+
+/// Accumulates rows of string cells and pretty-prints an aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision, keeps strings.
+  void add_row_mixed(const std::vector<std::string>& strings,
+                     const std::vector<double>& numbers, int precision = 4);
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+  std::string to_csv() const;
+
+  /// Format a double with fixed precision (shared formatting helper).
+  static std::string num(double v, int precision = 4);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tcr

@@ -1,0 +1,67 @@
+#include "tcr/util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace tcr {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(ThreadPool& pool, int n, const std::function<void(int)>& body) {
+  std::atomic<int> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto chunk = [&] {
+    for (;;) {
+      int i = next.fetch_add(1);
+      if (i >= n || failed.load()) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!failed.exchange(true)) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::future<void>> futures;
+  const std::size_t workers = std::min<std::size_t>(pool.size(), static_cast<std::size_t>(n));
+  futures.reserve(workers);
+  for (std::size_t w = 0; w + 1 < workers; ++w) futures.push_back(pool.submit(chunk));
+  chunk();  // The calling thread participates too.
+  for (auto& f : futures) f.get();
+  if (failed && first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace tcr

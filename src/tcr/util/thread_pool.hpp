@@ -1,0 +1,58 @@
+// Minimal fixed-size thread pool with a parallel_for helper.
+//
+// Benchmarks use it to run independent LP solves / matching evaluations of a
+// parameter sweep concurrently. On a single-core host it degrades gracefully
+// to (almost) sequential execution.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tcr {
+
+class ThreadPool {
+ public:
+  /// Create a pool with `threads` workers (0 -> hardware_concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; returns a future for its result.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Run body(i) for i in [0, n), distributing across the pool; blocks until
+  /// all iterations finish. Exceptions from the body are rethrown (first one).
+  static void parallel_for(ThreadPool& pool, int n, const std::function<void(int)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace tcr

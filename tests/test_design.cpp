@@ -1,0 +1,195 @@
+// The core LP design machinery (§3-§5): capacity LPs against the analytic
+// value, the symmetry reduction against the general formulation, worst-case
+// optimal designs against the known cap/2 bound, and flow decomposition.
+#include <gtest/gtest.h>
+
+#include "tcr/core/design.hpp"
+#include "tcr/core/tradeoff.hpp"
+#include "tcr/metrics/loads.hpp"
+#include "tcr/metrics/worst_case.hpp"
+#include "tcr/routing/dor.hpp"
+#include "tcr/traffic/sampler.hpp"
+
+namespace tcr {
+namespace {
+
+TEST(CapacityLP, MatchesAnalyticIdealLoad) {
+  for (int k : {3, 4, 5}) {
+    const Torus t(k);
+    EXPECT_NEAR(capacity_design_load(t), t.ideal_uniform_load(), 1e-6) << "k=" << k;
+  }
+}
+
+TEST(CapacityLP, GeneralFormulationAgreesOnTinyTorus) {
+  // The O(CN^2) general LP and the O(CN) symmetric LP must find the same
+  // optimum — this validates the §4 symmetry reduction end to end.
+  for (int k : {3}) {
+    const Torus t(k);
+    const auto general = general_capacity_design(t.graph());
+    ASSERT_EQ(general.status, lp::Status::Optimal) << "k=" << k;
+    EXPECT_NEAR(general.objective, t.ideal_uniform_load(), 1e-6) << "k=" << k;
+  }
+}
+
+TEST(CapacityLP, UnidirectionalRing) {
+  // Uniform traffic on a one-way ring of n nodes: every pair has exactly one
+  // path; channel load = (1/n) * sum over pairs through a channel =
+  // (n-1)/2... mean distance sum: each channel carries sum_{d=1}^{n-1} d/n
+  // = (n-1)/2.
+  for (int n : {3, 4, 6}) {
+    const auto res = general_capacity_design(make_ring(n));
+    ASSERT_EQ(res.status, lp::Status::Optimal);
+    EXPECT_NEAR(res.objective, (n - 1) / 2.0, 1e-6) << "n=" << n;
+  }
+}
+
+TEST(WorstCaseDesign, GeneralMatchesSymmetricOnTinyTorus) {
+  const Torus t(3);
+  const auto general = general_worst_case_design(t.graph());
+  ASSERT_EQ(general.status, lp::Status::Optimal);
+
+  SymmetricDesignConfig cfg;
+  cfg.objective = DesignObjective::WorstCase;
+  SymmetricArcDesign sym(t, cfg);
+  const auto res = sym.solve();
+  ASSERT_EQ(res.status, lp::Status::Optimal);
+  EXPECT_NEAR(res.objective, general.objective, 1e-5);
+}
+
+class WorstCaseOptimal : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Radices, WorstCaseOptimal, ::testing::Values(3, 4, 5));
+
+TEST_P(WorstCaseOptimal, AchievesHalfCapacityAndVerifiesExactly) {
+  const Torus t(GetParam());
+  const auto opt = design_worst_case_optimal(t);
+  ASSERT_EQ(opt.status, lp::Status::Optimal);
+  // Known result: optimal worst-case load is twice the uniform-optimal load
+  // (VAL achieves it; nothing oblivious beats it).
+  EXPECT_NEAR(opt.objective, 2.0 * t.ideal_uniform_load(), 1e-5);
+  // The decomposed routing must be valid and its *exact* (Hungarian-based)
+  // worst case must equal the LP's claim — LP and matching machinery agree.
+  EXPECT_NO_THROW(opt.routing.validate(1e-5));
+  EXPECT_NEAR(worst_case(opt.routing).gamma, opt.objective, 1e-4);
+  // Locality can't beat minimal routing.
+  EXPECT_GE(opt.locality_norm, 1.0 - 1e-6);
+  EXPECT_NEAR(opt.routing.normalized_locality(), opt.locality_norm, 1e-5);
+}
+
+TEST(WorstCaseDesign, LocalityConstraintOneIsDorLike) {
+  // Forcing minimal locality (L = 1) must give DOR's worst case — the paper
+  // says DOR is worst-case optimal among minimal algorithms.
+  const Torus t(4);
+  SymmetricDesignConfig cfg;
+  cfg.objective = DesignObjective::WorstCase;
+  cfg.locality_equals = t.mean_min_distance();
+  SymmetricArcDesign design(t, cfg);
+  const auto res = design.solve();
+  ASSERT_EQ(res.status, lp::Status::Optimal);
+  const double dor_gamma = worst_case(make_dor(t)).gamma;
+  EXPECT_LE(res.objective, dor_gamma + 1e-6);
+  EXPECT_GT(res.objective, 2.0 * t.ideal_uniform_load() - 1e-6);  // worse than cap/2
+}
+
+TEST(CuttingPlane, ConvergesToExactOptimum) {
+  // The Appendix-inspired permutation-generation method (with the Hungarian
+  // separation oracle and orbit-expanded cuts) must reach the same optimum
+  // as the embedded matching-dual block. Practical only at small radices —
+  // the cut set grows quickly (see EXPERIMENTS.md) — but exact when it
+  // converges.
+  for (int k : {3, 4}) {
+    const Torus t(k);
+    const auto res = design_worst_case_cutting_plane(t);
+    ASSERT_EQ(res.status, lp::Status::Optimal) << "k=" << k;
+    EXPECT_NEAR(res.objective, 2.0 * t.ideal_uniform_load(), 1e-5) << "k=" << k;
+    EXPECT_LE(res.rounds, 40) << "k=" << k;
+  }
+}
+
+TEST(WorstCaseDesign, FoldedAndUnfoldedAgree) {
+  // The dihedral variable folding must be lossless for the worst-case
+  // objective (group-averaging/convexity argument, DESIGN.md).
+  const Torus t(4);
+  double objectives[2];
+  for (bool fold : {true, false}) {
+    SymmetricDesignConfig cfg;
+    cfg.objective = DesignObjective::WorstCase;
+    cfg.fold_dihedral = fold;
+    SymmetricArcDesign design(t, cfg);
+    const auto res = design.solve();
+    ASSERT_EQ(res.status, lp::Status::Optimal) << "fold=" << fold;
+    objectives[fold ? 0 : 1] = res.objective;
+  }
+  EXPECT_NEAR(objectives[0], objectives[1], 1e-6);
+}
+
+TEST(TradeoffCurve, MonotoneAndBracketedByEndpoints) {
+  const Torus t(4);
+  const auto curve = worst_case_tradeoff(t, locality_grid(1.0, 2.0, 5));
+  ASSERT_EQ(curve.size(), 5u);
+  double prev = 0.0;
+  for (const auto& pt : curve) {
+    ASSERT_EQ(pt.status, lp::Status::Optimal) << "L=" << pt.locality;
+    EXPECT_GE(pt.capacity_fraction, prev - 1e-6) << "L=" << pt.locality;
+    prev = std::max(prev, pt.capacity_fraction);
+    EXPECT_LE(pt.capacity_fraction, 0.5 + 1e-6);
+  }
+  // At L = 2 the optimum must reach the global worst-case optimum (cap/2).
+  EXPECT_NEAR(curve.back().capacity_fraction, 0.5, 1e-4);
+}
+
+TEST(AverageCaseDesign, OptimumBeatsDorOnItsOwnSamples) {
+  const Torus t(4);
+  Rng rng(3);
+  std::vector<std::vector<int>> samples;
+  for (int i = 0; i < 12; ++i) samples.push_back(rng.permutation(t.num_nodes()));
+  const auto opt = design_average_case_optimal(t, samples);
+  ASSERT_EQ(opt.status, lp::Status::Optimal);
+  EXPECT_NO_THROW(opt.routing.validate(1e-5));
+
+  // Evaluate DOR's mean max load on the same samples; the design optimum
+  // cannot be worse.
+  const TorusRouting dor = make_dor(t);
+  double dor_mean = 0.0;
+  for (const auto& perm : samples) dor_mean += max_channel_load(dor, perm);
+  dor_mean /= samples.size();
+  EXPECT_LE(opt.objective, dor_mean + 1e-6);
+
+  // And the designed routing's sampled mean load must equal the LP value.
+  double mean = 0.0;
+  for (const auto& perm : samples) mean += max_channel_load(opt.routing, perm);
+  mean /= samples.size();
+  EXPECT_NEAR(mean, opt.objective, 1e-4);
+}
+
+TEST(FlowDecomposition, RecoversPathsAndDiscardsCycles) {
+  const Torus t(4);
+  const int e = t.node(2, 1);
+  std::vector<double> flow(t.num_channels(), 0.0);
+  // A legit path 0 -> (1,0) -> (2,0) -> (2,1) with flow 1...
+  flow[t.channel(t.node(0, 0), Dir::PX)] += 1.0;
+  flow[t.channel(t.node(1, 0), Dir::PX)] += 1.0;
+  flow[t.channel(t.node(2, 0), Dir::PY)] += 1.0;
+  // ...plus a spurious cycle around row 3.
+  for (int x = 0; x < 4; ++x) flow[t.channel(t.node(x, 3), Dir::PX)] += 0.25;
+  const auto paths = decompose_flow(t, e, flow);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_NEAR(paths[0].weight, 1.0, 1e-12);
+  EXPECT_EQ(paths[0].path.length(), 3);
+}
+
+TEST(FlowDecomposition, SplitsParallelFlows) {
+  const Torus t(4);
+  const int e = t.node(1, 1);
+  std::vector<double> flow(t.num_channels(), 0.0);
+  // Half via (1,0), half via (0,1).
+  flow[t.channel(t.node(0, 0), Dir::PX)] = 0.5;
+  flow[t.channel(t.node(1, 0), Dir::PY)] = 0.5;
+  flow[t.channel(t.node(0, 0), Dir::PY)] = 0.5;
+  flow[t.channel(t.node(0, 1), Dir::PX)] = 0.5;
+  const auto paths = decompose_flow(t, e, flow);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_NEAR(paths[0].weight + paths[1].weight, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tcr

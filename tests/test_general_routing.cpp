@@ -1,0 +1,130 @@
+// GeneralRouting: the topology-agnostic evaluation path (paper §2), checked
+// against the torus fast path and against the general design LPs.
+#include <gtest/gtest.h>
+
+#include "tcr/core/arc_flow.hpp"
+#include "tcr/metrics/loads.hpp"
+#include "tcr/metrics/worst_case.hpp"
+#include "tcr/routing/dor.hpp"
+#include "tcr/routing/general.hpp"
+#include "tcr/traffic/patterns.hpp"
+#include "tcr/util/check.hpp"
+
+namespace tcr {
+namespace {
+
+// DOR re-expressed as a GeneralRouting via the pair translation API.
+GeneralRouting general_dor(const Torus& t, const Digraph& g) {
+  const TorusRouting dor = make_dor(t);
+  GeneralRouting r(g, "DOR-general");
+  for (int s = 0; s < t.num_nodes(); ++s) {
+    for (int d = 0; d < t.num_nodes(); ++d) {
+      if (s == d) continue;
+      for (const auto& wp : dor.paths_for_pair(s, d)) r.add_path(s, d, wp.path, wp.weight);
+    }
+  }
+  return r;
+}
+
+TEST(GeneralRouting, MatchesTorusFastPathOnDor) {
+  const Torus t(4);
+  const Digraph g = t.graph();
+  const GeneralRouting gen = general_dor(t, g);
+  gen.validate();
+  const TorusRouting dor = make_dor(t);
+
+  EXPECT_NEAR(gen.avg_path_length(), dor.avg_path_length(), 1e-12);
+  EXPECT_NEAR(gen.normalized_locality(), dor.normalized_locality(), 1e-12);
+
+  const auto u = uniform_traffic(t.num_nodes());
+  EXPECT_NEAR(gen.max_channel_load(u), max_channel_load(dor, u), 1e-12);
+
+  const auto perm = tornado_permutation(t);
+  EXPECT_NEAR(gen.max_channel_load(permutation_matrix(perm)), max_channel_load(dor, perm),
+              1e-12);
+
+  // Exact worst case agrees between the all-channel scan and the
+  // 4-representative-channel torus scan.
+  EXPECT_NEAR(worst_case(gen).gamma, worst_case(dor).gamma, 1e-9);
+}
+
+TEST(GeneralRouting, SingleChannelLoadTable) {
+  // Hand-built two-node line: one channel each way, one path per pair.
+  Digraph g(2);
+  const int c01 = g.add_channel(0, 1);
+  const int c10 = g.add_channel(1, 0);
+  GeneralRouting r(g, "line");
+  r.add_path(0, 1, Path{0, 1, {c01}}, 1.0);
+  r.add_path(1, 0, Path{1, 0, {c10}}, 1.0);
+  r.validate();
+  const DenseMatrix w = r.pair_load_matrix(c01);
+  EXPECT_DOUBLE_EQ(w(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(w(1, 0), 0.0);
+  // Worst case: the swap permutation loads each channel once.
+  EXPECT_NEAR(worst_case(r).gamma, 1.0, 1e-12);
+  EXPECT_NEAR(r.avg_path_length(), 2.0 / 4.0, 1e-12);
+}
+
+TEST(GeneralRouting, DesignedFlowsRoundTrip) {
+  // general worst-case design -> flow decomposition -> GeneralRouting whose
+  // *exact* worst case equals the LP optimum. This closes the loop between
+  // the LP (8) machinery and the Hungarian evaluation on an asymmetric-API
+  // object.
+  const Digraph ring = make_bidirectional_ring(6);
+  const auto design = general_worst_case_design(ring);
+  ASSERT_EQ(design.status, lp::Status::Optimal);
+  const GeneralRouting r = routing_from_flows(ring, design.flows, "ring-wc-opt");
+  EXPECT_NO_THROW(r.validate(1e-5));
+  EXPECT_NEAR(worst_case(r).gamma, design.objective, 1e-4);
+}
+
+TEST(GeneralRouting, CapacityFlowsRealizeCapacityOnRing) {
+  const Digraph ring = make_ring(5);
+  const auto design = general_capacity_design(ring);
+  ASSERT_EQ(design.status, lp::Status::Optimal);
+  const GeneralRouting r = routing_from_flows(ring, design.flows, "ring-cap");
+  EXPECT_NO_THROW(r.validate(1e-5));
+  EXPECT_NEAR(r.max_channel_load(uniform_traffic(5)), design.objective, 1e-5);
+}
+
+TEST(GeneralRouting, ValidationCatchesBadInput) {
+  Digraph g(3);
+  const int c01 = g.add_channel(0, 1);
+  g.add_channel(1, 2);
+  GeneralRouting r(g, "bad");
+  EXPECT_THROW(r.add_path(0, 1, Path{0, 2, {c01}}, 0.5), Error);  // endpoint mismatch
+  r.add_path(0, 1, Path{0, 1, {c01}}, 0.5);
+  EXPECT_THROW(r.validate(), Error);  // mass != 1 and missing pairs
+}
+
+TEST(GeneralRouting, DecomposeFlowGeneralGraph) {
+  Digraph g(4);
+  const int a = g.add_channel(0, 1);
+  const int b = g.add_channel(1, 3);
+  const int c = g.add_channel(0, 2);
+  const int d = g.add_channel(2, 3);
+  std::vector<double> flow(4, 0.0);
+  flow[a] = flow[b] = 0.25;
+  flow[c] = flow[d] = 0.75;
+  const auto paths = decompose_flow(g, 0, 3, flow);
+  ASSERT_EQ(paths.size(), 2u);
+  double total = 0.0;
+  for (const auto& wp : paths) total += wp.weight;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(GeneralRouting, MeshWorstCaseBelowCapacityBound) {
+  // Sanity on an asymmetric topology: the designed worst case cannot beat
+  // the capacity bound (uniform optimum), and both LPs solve.
+  const Digraph mesh = make_mesh(3, 2);
+  const auto cap = general_capacity_design(mesh);
+  const auto wc = general_worst_case_design(mesh);
+  ASSERT_EQ(cap.status, lp::Status::Optimal);
+  ASSERT_EQ(wc.status, lp::Status::Optimal);
+  EXPECT_GE(wc.objective, cap.objective - 1e-7);
+  const GeneralRouting r = routing_from_flows(mesh, wc.flows, "mesh-wc");
+  EXPECT_NEAR(worst_case(r).gamma, wc.objective, 1e-4);
+}
+
+}  // namespace
+}  // namespace tcr

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "tcr/graph/digraph.hpp"
+#include "tcr/graph/torus.hpp"
+#include "tcr/util/check.hpp"
+
+namespace tcr {
+namespace {
+
+TEST(Digraph, RingDistances) {
+  const Digraph g = make_ring(5);
+  EXPECT_EQ(g.num_nodes(), 5);
+  EXPECT_EQ(g.num_channels(), 5);
+  const auto d = g.distances_from(0);
+  EXPECT_EQ(d[0], 0);
+  EXPECT_EQ(d[1], 1);
+  EXPECT_EQ(d[4], 4);  // unidirectional
+  EXPECT_DOUBLE_EQ(g.mean_min_distance(), (0 + 1 + 2 + 3 + 4) / 5.0);
+}
+
+TEST(Digraph, BidirectionalRing) {
+  const Digraph g = make_bidirectional_ring(6);
+  EXPECT_EQ(g.num_channels(), 12);
+  const auto d = g.distances_from(0);
+  EXPECT_EQ(d[5], 1);
+  EXPECT_EQ(d[3], 3);
+}
+
+TEST(Digraph, MeshStructure) {
+  const Digraph g = make_mesh(3, 2);
+  EXPECT_EQ(g.num_nodes(), 6);
+  // Channels: horizontal 2 per row * 2 rows * 2 dirs = 8; vertical 3 * 1 * 2 = 6.
+  EXPECT_EQ(g.num_channels(), 14);
+  const auto d = g.distances_from(0);
+  EXPECT_EQ(d[5], 3);  // (0,0) -> (2,1)
+}
+
+TEST(Digraph, Validation) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_channel(0, 5), Error);
+  EXPECT_THROW(g.add_channel(0, 1, -1.0), Error);
+}
+
+TEST(Torus, IndexingRoundTrip) {
+  const Torus t(5);
+  EXPECT_EQ(t.num_nodes(), 25);
+  EXPECT_EQ(t.num_channels(), 100);
+  for (int n = 0; n < t.num_nodes(); ++n) {
+    EXPECT_EQ(t.node(t.x_of(n), t.y_of(n)), n);
+  }
+  EXPECT_EQ(t.node(-1, 0), 4);
+  EXPECT_EQ(t.node(5, 7), t.node(0, 2));
+}
+
+TEST(Torus, NeighborsAndChannels) {
+  const Torus t(4);
+  const int n = t.node(3, 2);
+  EXPECT_EQ(t.neighbor(n, Dir::PX), t.node(0, 2));  // wrap
+  EXPECT_EQ(t.neighbor(n, Dir::NY), t.node(3, 1));
+  const int c = t.channel(n, Dir::PX);
+  EXPECT_EQ(t.channel_src(c), n);
+  EXPECT_EQ(t.channel_dst(c), t.node(0, 2));
+  EXPECT_EQ(t.channel_dir(c), Dir::PX);
+}
+
+TEST(Torus, TranslationAutomorphism) {
+  const Torus t(6);
+  const int a = t.node(1, 2), s = t.node(4, 5);
+  EXPECT_EQ(t.translate_node(a, s), t.node(5, 1));
+  EXPECT_EQ(t.translate_node(t.translate_node(a, s), t.negate_node(s)), a);
+  // Channel translation preserves direction and commutes with dst.
+  for (int c : {0, 13, 57, 143}) {
+    const int ct = t.translate_channel(c, s);
+    EXPECT_EQ(t.channel_dir(ct), t.channel_dir(c));
+    EXPECT_EQ(t.channel_dst(ct), t.translate_node(t.channel_dst(c), s));
+  }
+}
+
+TEST(Torus, OffsetIsTranslationInverse) {
+  const Torus t(5);
+  for (int s = 0; s < t.num_nodes(); s += 3) {
+    for (int d = 0; d < t.num_nodes(); d += 4) {
+      EXPECT_EQ(t.translate_node(s, t.offset(s, d)), d);
+    }
+  }
+}
+
+TEST(Torus, MinDistMatchesBfs) {
+  for (int k : {3, 4, 5, 8}) {
+    const Torus t(k);
+    const Digraph g = t.graph();
+    const auto bfs = g.distances_from(0);
+    for (int e = 0; e < t.num_nodes(); ++e) {
+      EXPECT_EQ(t.min_dist(0, e), bfs[e]) << "k=" << k << " e=" << e;
+    }
+    EXPECT_NEAR(t.mean_min_distance(), g.mean_min_distance(), 1e-12);
+  }
+}
+
+TEST(Torus, IdealUniformLoadFormula) {
+  // Even k: k/8. Odd k: (k^2-1)/(8k). Cross-check against the direct mean
+  // ring distance: per-dimension load = N * mean|ring dist| / (2N channels).
+  for (int k : {3, 4, 5, 6, 8, 9}) {
+    const Torus t(k);
+    double mean_ring = 0.0;
+    for (int d = 0; d < k; ++d) mean_ring += t.ring_dist(d);
+    mean_ring /= k;
+    EXPECT_NEAR(t.ideal_uniform_load(), mean_ring / 2.0, 1e-12) << "k=" << k;
+  }
+}
+
+TEST(Torus, GraphChannelIdsAlign) {
+  const Torus t(3);
+  const Digraph g = t.graph();
+  for (int c = 0; c < t.num_channels(); ++c) {
+    EXPECT_EQ(g.channel(c).src, t.channel_src(c));
+    EXPECT_EQ(g.channel(c).dst, t.channel_dst(c));
+  }
+}
+
+}  // namespace
+}  // namespace tcr

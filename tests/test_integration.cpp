@@ -1,0 +1,120 @@
+// End-to-end integration at k = 4: a miniature of the paper's full pipeline.
+// The optimal tradeoff curve must dominate every concrete algorithm, the
+// designed algorithms must sit where the paper says they sit, and the
+// simulator must corroborate an analytic throughput ordering.
+#include <gtest/gtest.h>
+
+#include "tcr/core/design.hpp"
+#include "tcr/core/path_design.hpp"
+#include "tcr/core/tradeoff.hpp"
+#include "tcr/metrics/average_case.hpp"
+#include "tcr/metrics/loads.hpp"
+#include "tcr/metrics/worst_case.hpp"
+#include "tcr/routing/dor.hpp"
+#include "tcr/routing/interpolate.hpp"
+#include "tcr/routing/rlb.hpp"
+#include "tcr/routing/romm.hpp"
+#include "tcr/routing/valiant.hpp"
+#include "tcr/traffic/sampler.hpp"
+
+namespace tcr {
+namespace {
+
+// Linear interpolation of the tradeoff curve at a given locality.
+double curve_at(const std::vector<TradeoffPoint>& curve, double locality) {
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    if (locality <= curve[i].locality + 1e-12) {
+      const double t =
+          (locality - curve[i - 1].locality) / (curve[i].locality - curve[i - 1].locality);
+      return curve[i - 1].capacity_fraction +
+             t * (curve[i].capacity_fraction - curve[i - 1].capacity_fraction);
+    }
+  }
+  return curve.back().capacity_fraction;
+}
+
+TEST(Integration, Figure1MiniatureAtK4) {
+  const Torus t(4);
+  const auto curve = worst_case_tradeoff(t, locality_grid(1.0, 2.0, 9));
+  for (const auto& pt : curve) ASSERT_EQ(pt.status, lp::Status::Optimal);
+
+  // Every real algorithm must lie inside the feasible region: its worst-case
+  // throughput cannot exceed the optimal value at its locality. (The curve
+  // is the Pareto frontier of problem (10).)
+  for (auto make : {make_dor, make_valiant, make_ival, make_romm, make_rlb, make_rlbth}) {
+    const TorusRouting r = make(t);
+    const double loc = std::min(r.normalized_locality(), 2.0);
+    const double frac = worst_case_capacity_fraction(r);
+    EXPECT_LE(frac, curve_at(curve, loc) + 1e-4) << r.name();
+  }
+
+  // VAL pins the right end of the Pareto curve; DOR the minimal end.
+  EXPECT_NEAR(worst_case_capacity_fraction(make_valiant(t)), 0.5, 1e-6);
+  EXPECT_NEAR(curve_at(curve, 1.0), worst_case_capacity_fraction(make_dor(t)), 1e-4);
+}
+
+TEST(Integration, Figure5MiniatureInterpolation) {
+  const Torus t(4);
+  const auto dor = make_dor(t);
+  const auto two_turn = design_two_turn(t);
+  ASSERT_EQ(two_turn.status, lp::Status::Optimal);
+  const double theta_dor = worst_case_throughput(dor);
+  const double theta_tt = worst_case_throughput(two_turn.routing);
+
+  for (double alpha : {0.25, 0.5, 0.75}) {
+    const TorusRouting mix = interpolate(dor, two_turn.routing, alpha);
+    // Locality interpolates exactly (eq. 12)...
+    EXPECT_NEAR(mix.avg_path_length(),
+                alpha * dor.avg_path_length() + (1 - alpha) * two_turn.routing.avg_path_length(),
+                1e-9);
+    // ...and throughput respects the harmonic bound (eq. 14).
+    EXPECT_GE(worst_case_throughput(mix) + 1e-9,
+              interpolation_throughput_bound(theta_dor, theta_tt, alpha));
+  }
+}
+
+TEST(Integration, Figure6MiniatureAverageCase) {
+  const Torus t(4);
+  Rng rng(2);
+  std::vector<std::vector<int>> design_samples;
+  for (int i = 0; i < 16; ++i) design_samples.push_back(rng.permutation(t.num_nodes()));
+  const auto eval_samples = sample_traffic_set(rng, t.num_nodes(), 40, "sinkhorn");
+
+  const auto opt = design_average_case_optimal(t, design_samples);
+  ASSERT_EQ(opt.status, lp::Status::Optimal);
+
+  // On dense evaluation samples, the average-optimal design should beat VAL
+  // (which the paper places at 50% of capacity) and be competitive with all
+  // the fixed algorithms.
+  const double opt_frac = average_capacity_fraction(opt.routing, eval_samples);
+  const double val_frac = average_capacity_fraction(make_valiant(t), eval_samples);
+  EXPECT_GT(opt_frac, val_frac - 0.02);
+
+  // 2TURNA sits close to the average-case optimum (paper: within ~5%).
+  const auto two_turn_a = design_two_turn_avg(t, design_samples);
+  ASSERT_EQ(two_turn_a.status, lp::Status::Optimal);
+  const double tta_frac = average_capacity_fraction(two_turn_a.routing, eval_samples);
+  EXPECT_GT(tta_frac, 0.75 * opt_frac);
+
+  // Weak worst/average tradeoff: the worst-case 2TURN design also has good
+  // average-case throughput.
+  const auto two_turn = design_two_turn(t);
+  const double tt_frac = average_capacity_fraction(two_turn.routing, eval_samples);
+  EXPECT_GT(tt_frac, val_frac - 0.02);
+}
+
+TEST(Integration, AverageApproximationQualityClaim) {
+  // §3.3: approximation within ~5% for the algorithms used in the paper
+  // (we allow 12% at this miniature size and sample count).
+  const Torus t(4);
+  Rng rng(9);
+  const auto samples = sample_traffic_set(rng, t.num_nodes(), 100, "birkhoff4");
+  for (auto make : {make_dor, make_valiant, make_ival, make_romm, make_rlb}) {
+    const TorusRouting r = make(t);
+    const auto res = average_case(r, samples);
+    EXPECT_NEAR(res.approx_throughput / res.true_throughput, 1.0, 0.12) << r.name();
+  }
+}
+
+}  // namespace
+}  // namespace tcr

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tcr/lin/dense_lu.hpp"
+#include "tcr/lin/dense_matrix.hpp"
+#include "tcr/lin/sparse.hpp"
+#include "tcr/util/rng.hpp"
+
+namespace tcr {
+namespace {
+
+TEST(DenseMatrix, BasicOps) {
+  DenseMatrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 2) = 2;
+  a(1, 1) = -3;
+  EXPECT_EQ(a.rows(), 2);
+  EXPECT_EQ(a.cols(), 3);
+  EXPECT_DOUBLE_EQ(a.max_abs(), 3.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.0);
+
+  const auto y = a.multiply({1, 1, 1});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], -3.0);
+
+  const auto z = a.multiply_transpose({1, 2});
+  EXPECT_DOUBLE_EQ(z[0], 1.0);
+  EXPECT_DOUBLE_EQ(z[1], -6.0);
+  EXPECT_DOUBLE_EQ(z[2], 2.0);
+
+  EXPECT_DOUBLE_EQ(a.row_sums()[0], 3.0);
+  EXPECT_DOUBLE_EQ(a.col_sums()[1], -3.0);
+}
+
+TEST(DenseLU, SolvesRandomSystems) {
+  Rng rng(3);
+  for (int n : {1, 2, 5, 20, 40}) {
+    DenseMatrix a(n, n);
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j) a(i, j) = rng.uniform(-1, 1);
+    for (int i = 0; i < n; ++i) a(i, i) += 3.0;  // well-conditioned
+    std::vector<double> x_true(n);
+    for (auto& v : x_true) v = rng.uniform(-5, 5);
+    const auto b = a.multiply(x_true);
+
+    DenseLU lu;
+    ASSERT_TRUE(lu.factor(a));
+    const auto x = lu.solve(b);
+    for (int i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+
+    const auto bt = a.multiply_transpose(x_true);
+    const auto y = lu.solve_transpose(bt);
+    for (int i = 0; i < n; ++i) EXPECT_NEAR(y[i], x_true[i], 1e-9);
+  }
+}
+
+TEST(DenseLU, DetectsSingular) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  DenseLU lu;
+  EXPECT_FALSE(lu.factor(a));
+}
+
+TEST(DenseLU, NeedsPivoting) {
+  // Zero on the diagonal forces a row swap.
+  DenseMatrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  DenseLU lu;
+  ASSERT_TRUE(lu.factor(a));
+  const auto x = lu.solve({3.0, 4.0});
+  EXPECT_NEAR(x[0], 4.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SparseMatrix, BuildsAndMergesDuplicates) {
+  std::vector<Triplet> t = {{0, 0, 1.0}, {1, 0, 2.0}, {0, 0, 3.0}, {2, 1, -1.0}, {2, 1, 1.0}};
+  SparseMatrix a(3, 2, t);
+  EXPECT_EQ(a.nnz(), 2u);  // (0,0)=4, (2,1)=0 dropped only if drop_tol>0... kept
+  // (2,1) summed to exactly 0.0 which is not > drop_tol=0 -> dropped.
+  const auto y = a.multiply({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 4.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0);
+  EXPECT_DOUBLE_EQ(y[2], 0.0);
+}
+
+TEST(SparseMatrix, ColumnAccessAndDot) {
+  std::vector<Triplet> t = {{0, 1, 2.0}, {3, 1, 5.0}, {2, 0, 1.0}};
+  SparseMatrix a(4, 2, t);
+  EXPECT_EQ(a.col_end(1) - a.col_begin(1), 2u);
+  EXPECT_DOUBLE_EQ(a.column_dot(1, {1, 1, 1, 2}), 12.0);
+  std::vector<double> y(4, 0.0);
+  a.add_column_to(1, 0.5, y);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[3], 2.5);
+}
+
+TEST(SparseMatrix, MatchesDenseOnRandom) {
+  Rng rng(9);
+  const int m = 17, n = 23;
+  DenseMatrix d(m, n);
+  std::vector<Triplet> trips;
+  for (int k = 0; k < 120; ++k) {
+    const int i = static_cast<int>(rng.below(m));
+    const int j = static_cast<int>(rng.below(n));
+    const double v = rng.uniform(-2, 2);
+    d(i, j) += v;
+    trips.push_back({i, j, v});
+  }
+  SparseMatrix s(m, n, trips);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  const auto ys = s.multiply(x);
+  const auto yd = d.multiply(x);
+  for (int i = 0; i < m; ++i) EXPECT_NEAR(ys[i], yd[i], 1e-12);
+  std::vector<double> w(m);
+  for (auto& v : w) v = rng.uniform(-1, 1);
+  const auto zs = s.multiply_transpose(w);
+  const auto zd = d.multiply_transpose(w);
+  for (int j = 0; j < n; ++j) EXPECT_NEAR(zs[j], zd[j], 1e-12);
+}
+
+}  // namespace
+}  // namespace tcr

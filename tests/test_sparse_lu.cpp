@@ -1,0 +1,155 @@
+// Property tests: the sparse Markowitz LU must agree with the dense oracle
+// on random sparse invertible systems of varying size and density, detect
+// singularity, and survive permutation-like (network-basis-shaped) matrices.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tcr/lin/dense_lu.hpp"
+#include "tcr/lin/sparse_lu.hpp"
+#include "tcr/util/rng.hpp"
+
+namespace tcr {
+namespace {
+
+struct RandomSystem {
+  SparseMatrix a;
+  DenseMatrix dense;
+  std::vector<int> basis;
+};
+
+RandomSystem random_system(Rng& rng, int m, double density) {
+  DenseMatrix dense(m, m);
+  std::vector<Triplet> trips;
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      if (i == j || rng.uniform() < density) {
+        double v = rng.uniform(-2, 2);
+        if (i == j) v += (v >= 0 ? 3.0 : -3.0);  // keep it comfortably nonsingular
+        trips.push_back({i, j, v});
+        dense(i, j) += v;
+      }
+    }
+  }
+  RandomSystem sys{SparseMatrix(m, m, trips), std::move(dense), {}};
+  sys.basis.resize(m);
+  for (int j = 0; j < m; ++j) sys.basis[j] = j;
+  return sys;
+}
+
+TEST(SparseLU, MatchesDenseOracleAcrossSizes) {
+  Rng rng(2024);
+  for (int m : {1, 2, 3, 8, 25, 60, 150}) {
+    for (double density : {0.05, 0.2, 0.6}) {
+      auto sys = random_system(rng, m, density);
+      DenseLU oracle;
+      ASSERT_TRUE(oracle.factor(sys.dense));
+      SparseLU lu;
+      ASSERT_TRUE(lu.factor(sys.a, sys.basis)) << "m=" << m << " density=" << density;
+
+      std::vector<double> b(m);
+      for (auto& v : b) v = rng.uniform(-1, 1);
+      std::vector<double> x;
+      lu.solve(b, x);
+      const auto x_ref = oracle.solve(b);
+      for (int i = 0; i < m; ++i)
+        ASSERT_NEAR(x[i], x_ref[i], 1e-7) << "m=" << m << " density=" << density;
+
+      std::vector<double> c(m);
+      for (auto& v : c) v = rng.uniform(-1, 1);
+      std::vector<double> y;
+      lu.solve_transpose(c, y);
+      const auto y_ref = oracle.solve_transpose(c);
+      for (int i = 0; i < m; ++i)
+        ASSERT_NEAR(y[i], y_ref[i], 1e-7) << "m=" << m << " density=" << density;
+    }
+  }
+}
+
+TEST(SparseLU, ColumnSubsetBasis) {
+  // Factor a basis that picks a subset of a wider matrix's columns.
+  Rng rng(5);
+  const int m = 20, n = 45;
+  std::vector<Triplet> trips;
+  for (int j = 0; j < n; ++j) {
+    // Slack-like columns for j < m guarantee an invertible subset exists.
+    if (j < m) trips.push_back({j, j, (j % 2) ? 1.0 : -1.0});
+    for (int k = 0; k < 3; ++k) {
+      trips.push_back({static_cast<int>(rng.below(m)), j, rng.uniform(-1, 1)});
+    }
+  }
+  SparseMatrix a(m, n, trips);
+  std::vector<int> basis(m);
+  for (int j = 0; j < m; ++j) basis[j] = j;
+
+  DenseMatrix dense(m, m);
+  for (int j = 0; j < m; ++j)
+    for (auto k = a.col_begin(j); k < a.col_end(j); ++k) dense(a.row_index(k), j) += a.value(k);
+  DenseLU oracle;
+  ASSERT_TRUE(oracle.factor(dense));
+
+  SparseLU lu;
+  ASSERT_TRUE(lu.factor(a, basis));
+  std::vector<double> b(m);
+  for (auto& v : b) v = rng.uniform(-3, 3);
+  std::vector<double> x;
+  lu.solve(b, x);
+  const auto x_ref = oracle.solve(b);
+  for (int i = 0; i < m; ++i) EXPECT_NEAR(x[i], x_ref[i], 1e-8);
+}
+
+TEST(SparseLU, PermutationMatrix) {
+  Rng rng(13);
+  const int m = 30;
+  const auto perm = rng.permutation(m);
+  std::vector<Triplet> trips;
+  for (int j = 0; j < m; ++j) trips.push_back({perm[j], j, 1.0});
+  SparseMatrix a(m, m, trips);
+  std::vector<int> basis(m);
+  for (int j = 0; j < m; ++j) basis[j] = j;
+  SparseLU lu;
+  ASSERT_TRUE(lu.factor(a, basis));
+  std::vector<double> b(m);
+  for (int i = 0; i < m; ++i) b[i] = i;
+  std::vector<double> x;
+  lu.solve(b, x);
+  for (int j = 0; j < m; ++j) EXPECT_NEAR(x[j], b[perm[j]], 1e-12);
+}
+
+TEST(SparseLU, DetectsSingular) {
+  // Two identical columns.
+  std::vector<Triplet> trips = {{0, 0, 1.0}, {1, 0, 2.0}, {0, 1, 1.0}, {1, 1, 2.0}};
+  SparseMatrix a(2, 2, trips);
+  SparseLU lu;
+  EXPECT_FALSE(lu.factor(a, {0, 1}));
+  EXPECT_FALSE(lu.deficient_positions().empty());
+}
+
+TEST(SparseLU, EmptyColumnIsSingular) {
+  std::vector<Triplet> trips = {{0, 0, 1.0}, {1, 1, 1.0}};
+  SparseMatrix a(3, 3, trips);
+  SparseLU lu;
+  EXPECT_FALSE(lu.factor(a, {0, 1, 2}));
+}
+
+TEST(SparseLU, IdentityRoundTrip) {
+  std::vector<Triplet> trips;
+  const int m = 10;
+  for (int j = 0; j < m; ++j) trips.push_back({j, j, 1.0});
+  SparseMatrix a(m, m, trips);
+  std::vector<int> basis(m);
+  for (int j = 0; j < m; ++j) basis[j] = j;
+  SparseLU lu;
+  ASSERT_TRUE(lu.factor(a, basis));
+  EXPECT_EQ(lu.factor_nnz(), static_cast<std::size_t>(m));
+  std::vector<double> b{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<double> x;
+  lu.solve(b, x);
+  for (int i = 0; i < m; ++i) EXPECT_DOUBLE_EQ(x[i], b[i]);
+  std::vector<double> y;
+  lu.solve_transpose(b, y);
+  for (int i = 0; i < m; ++i) EXPECT_DOUBLE_EQ(y[i], b[i]);
+}
+
+}  // namespace
+}  // namespace tcr

@@ -1,0 +1,130 @@
+// TorusSymmetry: the dihedral point group used to fold the design LPs.
+// These properties are exactly what the folding in tcr/core relies on.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tcr/graph/symmetry.hpp"
+#include "tcr/routing/dor.hpp"
+
+namespace tcr {
+namespace {
+
+class Symmetry : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Radices, Symmetry, ::testing::Values(3, 4, 5, 8));
+
+TEST_P(Symmetry, EveryElementFixesNodeZero) {
+  const Torus t(GetParam());
+  const TorusSymmetry sym(t);
+  for (int g = 0; g < TorusSymmetry::kOrder; ++g) EXPECT_EQ(sym.map_node(g, 0), 0);
+}
+
+TEST_P(Symmetry, NodeMapsAreBijections) {
+  const Torus t(GetParam());
+  const TorusSymmetry sym(t);
+  for (int g = 0; g < TorusSymmetry::kOrder; ++g) {
+    std::set<int> image;
+    for (int n = 0; n < t.num_nodes(); ++n) image.insert(sym.map_node(g, n));
+    EXPECT_EQ(static_cast<int>(image.size()), t.num_nodes()) << "g=" << g;
+  }
+}
+
+TEST_P(Symmetry, ChannelMapsAreGraphAutomorphisms) {
+  // g must map the channel (m -> m') to a channel (g(m) -> g(m')).
+  const Torus t(GetParam());
+  const TorusSymmetry sym(t);
+  for (int g = 0; g < TorusSymmetry::kOrder; ++g) {
+    std::set<int> image;
+    for (int c = 0; c < t.num_channels(); ++c) {
+      const int cg = sym.map_channel(g, c);
+      image.insert(cg);
+      EXPECT_EQ(t.channel_src(cg), sym.map_node(g, t.channel_src(c)));
+      EXPECT_EQ(t.channel_dst(cg), sym.map_node(g, t.channel_dst(c)));
+    }
+    EXPECT_EQ(static_cast<int>(image.size()), t.num_channels()) << "g=" << g;
+  }
+}
+
+TEST_P(Symmetry, MapsPreserveDistances) {
+  const Torus t(GetParam());
+  const TorusSymmetry sym(t);
+  for (int g = 0; g < TorusSymmetry::kOrder; ++g) {
+    for (int a = 0; a < t.num_nodes(); a += 3) {
+      for (int b = 0; b < t.num_nodes(); b += 2) {
+        EXPECT_EQ(t.min_dist(sym.map_node(g, a), sym.map_node(g, b)), t.min_dist(a, b));
+      }
+    }
+  }
+}
+
+TEST_P(Symmetry, PathImagesAreValidPaths) {
+  const Torus t(GetParam());
+  const TorusSymmetry sym(t);
+  const Digraph graph = t.graph();
+  const TorusRouting dor = make_dor(t);
+  for (int e = 1; e < t.num_nodes(); e += 5) {
+    for (const auto& wp : dor.paths(e)) {
+      for (int g = 0; g < TorusSymmetry::kOrder; ++g) {
+        const Path q = sym.map_path(g, wp.path);
+        EXPECT_EQ(q.src, 0);
+        EXPECT_EQ(q.dst, sym.map_node(g, e));
+        EXPECT_TRUE(path_is_valid(graph, q));
+        EXPECT_EQ(q.length(), wp.path.length());
+      }
+    }
+  }
+}
+
+TEST_P(Symmetry, OrbitRepsArePartitionInvariants) {
+  // node_rep / pair_rep must be constant on orbits (the property the LP
+  // variable-folding uses).
+  const Torus t(GetParam());
+  const TorusSymmetry sym(t);
+  for (int e = 1; e < t.num_nodes(); ++e) {
+    for (int g = 0; g < TorusSymmetry::kOrder; ++g) {
+      EXPECT_EQ(sym.node_rep(sym.map_node(g, e)), sym.node_rep(e));
+    }
+  }
+  for (int e = 1; e < t.num_nodes(); e += 7) {
+    for (int c = 0; c < t.num_channels(); c += 11) {
+      const long long rep = sym.pair_rep(e, c);
+      for (int g = 0; g < TorusSymmetry::kOrder; ++g) {
+        EXPECT_EQ(sym.pair_rep(sym.map_node(g, e), sym.map_channel(g, c)), rep);
+      }
+    }
+  }
+}
+
+TEST_P(Symmetry, GroupClosure) {
+  // Composing any two elements acts like some element of the group
+  // (verified pointwise on nodes).
+  const Torus t(GetParam());
+  const TorusSymmetry sym(t);
+  const int n = t.num_nodes();
+  for (int g1 = 0; g1 < TorusSymmetry::kOrder; ++g1) {
+    for (int g2 = 0; g2 < TorusSymmetry::kOrder; ++g2) {
+      int found = -1;
+      for (int g3 = 0; g3 < TorusSymmetry::kOrder && found < 0; ++g3) {
+        bool match = true;
+        for (int nd = 0; nd < n && match; ++nd) {
+          match = sym.map_node(g3, nd) == sym.map_node(g2, sym.map_node(g1, nd));
+        }
+        if (match) found = g3;
+      }
+      EXPECT_GE(found, 0) << "g1=" << g1 << " g2=" << g2;
+    }
+  }
+}
+
+TEST(Symmetry, OrbitSizesDivideGroupOrder) {
+  const Torus t(4);
+  const TorusSymmetry sym(t);
+  for (int e = 1; e < t.num_nodes(); ++e) {
+    std::set<int> orbit;
+    for (int g = 0; g < TorusSymmetry::kOrder; ++g) orbit.insert(sym.map_node(g, e));
+    EXPECT_EQ(TorusSymmetry::kOrder % orbit.size(), 0u) << "e=" << e;
+  }
+}
+
+}  // namespace
+}  // namespace tcr

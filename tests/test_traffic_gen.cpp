@@ -1,0 +1,95 @@
+// TrafficGen: injection process statistics and path sampling fidelity.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "tcr/routing/dor.hpp"
+#include "tcr/routing/valiant.hpp"
+#include "tcr/sim/traffic_gen.hpp"
+#include "tcr/util/check.hpp"
+
+namespace tcr {
+namespace {
+
+TEST(TrafficGen, BernoulliRateIsRespected) {
+  const Torus t(4);
+  const TorusRouting dor = make_dor(t);
+  TrafficGen gen(dor, 0.25, 7);
+  int injected = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (gen.maybe_inject(i % t.num_nodes())) ++injected;
+  }
+  // Self-addressed picks are dropped: effective rate 0.25 * 15/16.
+  const double expected = 0.25 * 15.0 / 16.0;
+  EXPECT_NEAR(static_cast<double>(injected) / trials, expected, 0.01);
+}
+
+TEST(TrafficGen, ZeroRateNeverInjects) {
+  const Torus t(3);
+  const TorusRouting dor = make_dor(t);
+  TrafficGen gen(dor, 0.0, 1);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(gen.maybe_inject(0).has_value());
+}
+
+TEST(TrafficGen, PermutationModeTargetsFixedDestination) {
+  const Torus t(4);
+  const TorusRouting dor = make_dor(t);
+  std::vector<int> perm(t.num_nodes());
+  for (int n = 0; n < t.num_nodes(); ++n) perm[n] = t.translate_node(n, t.node(1, 2));
+  TrafficGen gen(dor, 1.0, perm, 3);
+  for (int n = 0; n < t.num_nodes(); ++n) {
+    const auto p = gen.maybe_inject(n);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->src, n);
+    EXPECT_EQ(p->dst, perm[n]);
+  }
+}
+
+TEST(TrafficGen, SamplesPathsAccordingToWeights) {
+  // For a pair with split DOR routes, the empirical path frequencies must
+  // match the algorithm's probabilities.
+  const Torus t(4);
+  const TorusRouting dor = make_dor(t);
+  const int src = 0;
+  const int dst = t.node(2, 0);  // k/2 tie: two minimal X directions, 0.5 each
+  std::vector<int> perm(t.num_nodes());
+  for (int n = 0; n < t.num_nodes(); ++n) perm[n] = t.translate_node(n, dst);
+  TrafficGen gen(dor, 1.0, perm, 11);
+
+  std::map<std::vector<int>, int> counts;
+  const int trials = 4000;
+  for (int i = 0; i < trials; ++i) {
+    const auto p = gen.maybe_inject(src);
+    ASSERT_TRUE(p.has_value());
+    ++counts[p->channels];
+  }
+  ASSERT_EQ(counts.size(), 2u);
+  for (const auto& [channels, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / trials, 0.5, 0.05);
+  }
+}
+
+TEST(TrafficGen, SampledPathsAreValidTranslations) {
+  const Torus t(4);
+  const TorusRouting val = make_valiant(t);
+  const Digraph g = t.graph();
+  TrafficGen gen(val, 1.0, 19);
+  for (int i = 0; i < 500; ++i) {
+    const int node = i % t.num_nodes();
+    const auto p = gen.maybe_inject(node);
+    if (!p) continue;
+    EXPECT_EQ(p->src, node);
+    EXPECT_TRUE(path_is_valid(g, *p));
+  }
+}
+
+TEST(TrafficGen, RejectsBadConfig) {
+  const Torus t(3);
+  const TorusRouting dor = make_dor(t);
+  EXPECT_THROW(TrafficGen(dor, 1.5, 1), Error);
+  EXPECT_THROW(TrafficGen(dor, 0.5, std::vector<int>{0, 1}, 1), Error);
+}
+
+}  // namespace
+}  // namespace tcr

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "tcr/util/check.hpp"
+#include "tcr/util/cli.hpp"
+#include "tcr/util/rng.hpp"
+#include "tcr/util/table.hpp"
+#include "tcr/util/thread_pool.hpp"
+
+namespace tcr {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, BelowRespectsBoundAndCoversRange) {
+  Rng r(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.below(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_THROW(r.below(0), Error);
+}
+
+TEST(Rng, PermutationIsBijective) {
+  Rng r(5);
+  for (int n : {1, 2, 5, 33}) {
+    const auto p = r.permutation(n);
+    std::set<int> s(p.begin(), p.end());
+    EXPECT_EQ(static_cast<int>(s.size()), n);
+    EXPECT_EQ(*s.begin(), 0);
+    EXPECT_EQ(*s.rbegin(), n - 1);
+  }
+}
+
+TEST(Checks, RequireThrowsWithMessage) {
+  try {
+    TCR_REQUIRE(1 == 2, "math is broken");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("math is broken"), std::string::npos);
+  }
+}
+
+TEST(Table, AlignsAndEmitsCsv) {
+  TextTable t({"alg", "value"});
+  t.add_row({"DOR", "1.0"});
+  t.add_row_mixed({"VAL"}, {2.0}, 1);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("DOR"), std::string::npos);
+  EXPECT_NE(s.find("2.0"), std::string::npos);
+  EXPECT_EQ(t.to_csv(), "alg,value\nDOR,1.0\nVAL,2.0\n");
+  EXPECT_THROW(t.add_row({"too", "many", "cells"}), Error);
+}
+
+TEST(ThreadPool, RunsAllIterations) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  ThreadPool::parallel_for(pool, 1000, [&](int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(ThreadPool::parallel_for(pool, 10,
+                                        [&](int i) {
+                                          if (i == 5) throw Error("boom");
+                                        }),
+               Error);
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(Cli, ParsesFlagsAndDefaults) {
+  const char* argv[] = {"prog", "--k", "8", "--alpha=0.25", "--name", "fig1", "--verbose"};
+  Cli cli(7, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("k", 4), 8);
+  EXPECT_DOUBLE_EQ(cli.get_double("alpha", 1.0), 0.25);
+  EXPECT_EQ(cli.get_string("name", ""), "fig1");
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_EQ(cli.get_int("missing", 17), 17);
+}
+
+}  // namespace
+}  // namespace tcr
