@@ -6,7 +6,9 @@
 // reporting rows/cols, simplex iterations, wall time — and, crucially, that
 // every configuration reaches the same optimal objective.
 //
-// Flags: --kmin (default 3), --kmax (default 5; unfolded LPs grow fast).
+// Flags: --kmin (default 3), --kmax (default 5; unfolded LPs grow fast),
+// --json <path> (one JSON record per configuration with the solver's
+// per-solve obs snapshot — iterations, refactorizations, phase timings).
 #include "bench_common.hpp"
 
 #include "tcr/core/arc_flow.hpp"
@@ -17,6 +19,7 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const int kmin = cli.get_int("kmin", 3);
   const int kmax = cli.get_int("kmax", 5);
+  bench::JsonOutput jout(cli, "ablation_solver");
 
   bench::banner("Ablation: symmetry folding and anti-degeneracy perturbation",
                 "worst-case design LP (8); all configs must agree on the optimum");
@@ -38,8 +41,20 @@ int main(int argc, char** argv) {
                        std::to_string(design.model().num_rows()),
                        std::to_string(design.model().num_cols()),
                        std::to_string(res.iterations), TextTable::num(sw.seconds(), 2),
-                       res.status == lp::Status::Optimal ? TextTable::num(res.objective, 6)
-                                                         : lp::to_string(res.status)});
+                       res.status == lp::Status::Optimal
+                           ? TextTable::num(res.objective, 6)
+                           : bench::status_line(res.status, res.note)});
+        auto fields = obs::Json::object();
+        fields.set("k", k)
+            .set("fold_dihedral", fold)
+            .set("perturb", perturb)
+            .set("rows", design.model().num_rows())
+            .set("cols", design.model().num_cols())
+            .set("iterations", res.iterations)
+            .set("wall_s", sw.seconds())
+            .set("status", lp::to_string(res.status))
+            .set("objective", res.objective);
+        jout.point(std::move(fields));
       }
     }
   }

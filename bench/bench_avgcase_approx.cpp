@@ -3,7 +3,7 @@
 // throughput within ~5% at |X| = 100, N = 64, for the paper's algorithms.
 //
 // Flags: --k (default 8), --samples (default 100), --kind (sinkhorn |
-// birkhoff4 | perm).
+// birkhoff4 | perm), --json <path> (one JSON record per algorithm).
 #include "bench_common.hpp"
 
 #include <cmath>
@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   const int k = cli.get_int("k", 8);
   const int count = cli.get_int("samples", 100);
   const std::string kind = cli.get_string("kind", "sinkhorn");
+  bench::JsonOutput jout(cli, "avgcase_approx");
 
   bench::banner("Section 3.3: quality of the linear average-case approximation",
                 "|X| = " + std::to_string(count) + ", sampler = " + kind);
@@ -31,6 +32,15 @@ int main(int argc, char** argv) {
     const double err = 100.0 * std::abs(res.approx_throughput / res.true_throughput - 1.0);
     worst = std::max(worst, err);
     table.add_row_mixed({r.name()}, {res.approx_throughput, res.true_throughput, err});
+    auto fields = obs::Json::object();
+    fields.set("k", k)
+        .set("algorithm", r.name())
+        .set("samples", count)
+        .set("kind", kind)
+        .set("approx_throughput", res.approx_throughput)
+        .set("true_throughput", res.true_throughput)
+        .set("error_pct", err);
+    jout.point(std::move(fields));
   }
   table.print(std::cout);
   std::cout << "\nworst-case approximation error: " << TextTable::num(worst, 2)

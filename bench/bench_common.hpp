@@ -1,10 +1,16 @@
 // Shared helpers for the figure/table reproduction binaries.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "tcr/lp/model.hpp"
+#include "tcr/obs/json.hpp"
+#include "tcr/obs/registry.hpp"
 #include "tcr/routing/dor.hpp"
 #include "tcr/routing/rlb.hpp"
 #include "tcr/routing/romm.hpp"
@@ -30,6 +36,63 @@ inline void banner(const std::string& title, const std::string& paper_ref) {
   std::cout << "==========================================================\n"
             << title << "\n(" << paper_ref << ")\n"
             << "==========================================================\n";
+}
+
+/// Machine-readable output behind every bench's `--json <path>` flag.
+///
+/// When the flag is present the helper opens a JSON-lines sink, enables the
+/// obs registry's fine-grained timing, and zeroes all metrics. Each point()
+/// call then appends one record
+///   {"bench": <name>, "point": <series values>, "obs": <registry snapshot>}
+/// and resets the registry again, so every snapshot covers exactly the work
+/// done since the previous record. Without the flag, every call is a no-op
+/// and timing stays off.
+class JsonOutput {
+ public:
+  JsonOutput(const Cli& cli, std::string bench_name) : bench_(std::move(bench_name)) {
+    const std::string path = cli.get_string("json", "");
+    if (path.empty()) return;
+    sink_ = std::make_unique<obs::EventSink>(path);
+    if (!sink_->ok()) {
+      std::cerr << "error: cannot open --json output file '" << path << "'\n";
+      std::exit(1);
+    }
+    obs::Registry::instance().set_timing_enabled(true);
+    obs::Registry::instance().reset();
+  }
+
+  ~JsonOutput() {
+    if (sink_ && !sink_->ok()) {
+      std::cerr << "error: --json output stream failed; records were lost\n";
+      std::exit(1);
+    }
+  }
+
+  bool enabled() const { return sink_ != nullptr; }
+
+  /// Emit one record for a series point. `fields` should be a Json object
+  /// holding the point's paper-series values.
+  void point(obs::Json fields) {
+    if (!sink_) return;
+    auto rec = obs::Json::object();
+    rec.set("bench", bench_)
+        .set("point", std::move(fields))
+        .set("obs", obs::snapshot_json());
+    sink_->write(rec);
+    obs::Registry::instance().reset();
+  }
+
+ private:
+  std::string bench_;
+  std::unique_ptr<obs::EventSink> sink_;
+};
+
+/// One-line solver status for the text output: the status name plus the
+/// solver's stop diagnosis when the solve did not reach optimality.
+inline std::string status_line(lp::Status status, const std::string& note) {
+  std::string s = lp::to_string(status);
+  if (status != lp::Status::Optimal && !note.empty()) s += " (" + note + ")";
+  return s;
 }
 
 }  // namespace tcr::bench

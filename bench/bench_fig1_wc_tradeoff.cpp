@@ -4,7 +4,8 @@
 //
 // Each curve point solves LP (10): minimize gamma_wc subject to H_avg = L.
 //
-// Flags: --k (default 8), --points (default 11).
+// Flags: --k (default 8), --points (default 11), --json <path> (one JSON
+// record per curve point / algorithm with the obs snapshot of its solve).
 #include "bench_common.hpp"
 
 #include "tcr/core/tradeoff.hpp"
@@ -16,28 +17,51 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const int k = cli.get_int("k", 8);
   const int points = cli.get_int("points", 9);
+  bench::JsonOutput jout(cli, "fig1_wc_tradeoff");
 
   bench::banner("Figure 1: worst-case throughput vs locality, " + std::to_string(k) +
                     "-ary 2-cube",
                 "optimal curve = LP (10); points = Hungarian-exact worst case");
   const Torus torus(k);
 
+  // One LP per grid point; solved one at a time so the --json records carry
+  // per-point obs snapshots.
   Stopwatch sw;
-  const auto curve = worst_case_tradeoff(torus, locality_grid(1.0, 2.0, points));
+  std::vector<TradeoffPoint> curve;
+  for (const double l : locality_grid(1.0, 2.0, points)) {
+    curve.push_back(worst_case_tradeoff(torus, {l}).front());
+    const TradeoffPoint& pt = curve.back();
+    auto fields = obs::Json::object();
+    fields.set("series", "optimal_curve")
+        .set("k", k)
+        .set("locality", pt.locality)
+        .set("capacity_fraction", pt.capacity_fraction)
+        .set("status", lp::to_string(pt.status));
+    jout.point(std::move(fields));
+  }
   std::cout << "curve solved in " << sw.seconds() << " s ("
             << points << " locality-constrained LPs)\n\n";
 
   TextTable curve_table({"H_avg/minimal (L)", "optimal Theta_wc/cap", "status"});
   for (const auto& pt : curve) {
     curve_table.add_row({TextTable::num(pt.locality, 3), TextTable::num(pt.capacity_fraction, 4),
-                         lp::to_string(pt.status)});
+                         bench::status_line(pt.status, pt.note)});
   }
   curve_table.print(std::cout);
 
   std::cout << "\nexisting algorithms in the same space:\n";
   TextTable pts({"algorithm", "H_avg/minimal", "Theta_wc/cap"});
   for (const auto& r : bench::table1_algorithms(torus)) {
-    pts.add_row_mixed({r.name()}, {r.normalized_locality(), worst_case_capacity_fraction(r)});
+    const double loc = r.normalized_locality();
+    const double wc = worst_case_capacity_fraction(r);
+    pts.add_row_mixed({r.name()}, {loc, wc});
+    auto fields = obs::Json::object();
+    fields.set("series", "algorithm")
+        .set("k", k)
+        .set("algorithm", r.name())
+        .set("locality", loc)
+        .set("capacity_fraction", wc);
+    jout.point(std::move(fields));
   }
   pts.print(std::cout);
   std::cout << "\npaper shape: DOR pins the minimal end of the Pareto curve; VAL reaches\n"

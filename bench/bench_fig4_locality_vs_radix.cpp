@@ -4,7 +4,8 @@
 // the odd/even oscillation and that 2TURN == optimal at k = 4 and 6.
 //
 // Flags: --kmin (default 3), --kmax (default 8; the LPs grow as O(N^2) rows,
-// raise at your own pace), --skip-optimal, --skip-2turn.
+// raise at your own pace), --skip-optimal, --skip-2turn, --json <path>
+// (one JSON record per radix with the obs snapshot of that radix's solves).
 #include "bench_common.hpp"
 
 #include "tcr/core/design.hpp"
@@ -17,6 +18,7 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const int kmin = cli.get_int("kmin", 3);
   const int kmax = cli.get_int("kmax", 8);
+  bench::JsonOutput jout(cli, "fig4_locality_vs_radix");
 
   bench::banner("Figure 4: locality of worst-case-optimal algorithms vs radix",
                 "IVAL closed form; 2TURN path LP; optimal arc LP");
@@ -33,15 +35,31 @@ int main(int argc, char** argv) {
       if (res.status == lp::Status::Optimal) {
         two_turn = res.routing.normalized_locality();
         two_turn_wc = worst_case_capacity_fraction(res.routing);
+      } else {
+        std::cout << "k=" << k
+                  << " 2TURN: " << bench::status_line(res.status, res.note) << "\n";
       }
     }
     double optimal = -1.0;
     if (!cli.has("skip-optimal")) {
       const auto res = design_worst_case_optimal(torus);
-      if (res.status == lp::Status::Optimal) optimal = res.locality_norm;
+      if (res.status == lp::Status::Optimal) {
+        optimal = res.locality_norm;
+      } else {
+        std::cout << "k=" << k
+                  << " optimal: " << bench::status_line(res.status, res.note) << "\n";
+      }
     }
     table.add_row_mixed({std::to_string(k)}, {ival, two_turn, optimal, two_turn_wc,
                                               sw.seconds()});
+    auto fields = obs::Json::object();
+    fields.set("k", k)
+        .set("ival_locality", ival)
+        .set("two_turn_locality", two_turn)
+        .set("optimal_locality", optimal)
+        .set("two_turn_wc_capacity_fraction", two_turn_wc)
+        .set("wall_s", sw.seconds());
+    jout.point(std::move(fields));
     std::cout << "k=" << k << " done\n";
   }
   table.print(std::cout);

@@ -6,7 +6,8 @@
 // (footnote 5). Also reports the distance to the optimal tradeoff curve.
 //
 // Flags: --k (default 8), --alphas (default 9), --curve-points (default 11),
-// --skip-curve (skip the optimal-curve LPs used for the gap column).
+// --skip-curve (skip the optimal-curve LPs used for the gap column),
+// --json <path> (one JSON record per interpolation point).
 #include "bench_common.hpp"
 
 #include <cmath>
@@ -45,6 +46,7 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const int k = cli.get_int("k", 8);
   const int alphas = cli.get_int("alphas", 7);
+  bench::JsonOutput jout(cli, "fig5_interpolation");
 
   bench::banner("Figure 5: interpolated routing algorithms, " + std::to_string(k) +
                     "-ary 2-cube",
@@ -59,6 +61,9 @@ int main(int argc, char** argv) {
   }
 
   const auto two_turn = design_two_turn(torus);
+  if (two_turn.status != lp::Status::Optimal) {
+    std::cout << "2TURN design: " << bench::status_line(two_turn.status, two_turn.note) << "\n";
+  }
   std::vector<std::pair<std::string, const TorusRouting*>> families = {{"DOR<->IVAL", &ival}};
   if (two_turn.status == lp::Status::Optimal) families.push_back({"DOR<->2TURN", &two_turn.routing});
 
@@ -82,6 +87,15 @@ int main(int argc, char** argv) {
       }
       table.add_row_mixed({TextTable::num(alpha, 2)},
                           {mix.normalized_locality(), frac, bound, gap});
+      auto fields = obs::Json::object();
+      fields.set("family", label)
+          .set("k", k)
+          .set("alpha", alpha)
+          .set("locality", mix.normalized_locality())
+          .set("wc_capacity_fraction", frac)
+          .set("bound_eq14", bound)
+          .set("pct_above_optimal_locality", gap);
+      jout.point(std::move(fields));
     }
     table.print(std::cout);
     if (!curve.empty()) {

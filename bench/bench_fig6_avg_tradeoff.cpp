@@ -5,7 +5,8 @@
 // doubly-stochastic samples, eq. (9) with |X| = --samples (default 100).
 //
 // Flags: --k (default 8), --points (default 9), --samples (default 100),
-// --design-samples (default 24), --skip-curve, --skip-design.
+// --design-samples (default 24), --skip-curve, --skip-design, --json <path>
+// (one JSON record per curve point / designed routing / algorithm point).
 #include "bench_common.hpp"
 
 #include "tcr/core/design.hpp"
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
   const int points = cli.get_int("points", 5);
   const int eval_count = cli.get_int("samples", 100);
   const int design_count = cli.get_int("design-samples", 12);
+  bench::JsonOutput jout(cli, "fig6_avg_tradeoff");
 
   bench::banner("Figure 6: average-case throughput vs locality, " + std::to_string(k) +
                     "-ary 2-cube",
@@ -36,26 +38,53 @@ int main(int argc, char** argv) {
 
   if (!cli.has("skip-curve")) {
     Stopwatch sw;
-    const auto curve =
-        average_case_tradeoff(torus, design_samples, locality_grid(1.0, 2.0, points));
+    std::vector<TradeoffPoint> curve;
+    for (const double l : locality_grid(1.0, 2.0, points)) {
+      curve.push_back(average_case_tradeoff(torus, design_samples, {l}).front());
+      const TradeoffPoint& pt = curve.back();
+      auto fields = obs::Json::object();
+      fields.set("series", "optimal_curve")
+          .set("k", k)
+          .set("locality", pt.locality)
+          .set("capacity_fraction", pt.capacity_fraction)
+          .set("status", lp::to_string(pt.status));
+      jout.point(std::move(fields));
+    }
     std::cout << "curve solved in " << sw.seconds() << " s\n\n";
     TextTable curve_table({"H_avg/minimal (L)", "optimal Theta_avg/cap", "status"});
     for (const auto& pt : curve) {
       curve_table.add_row({TextTable::num(pt.locality, 3),
-                           TextTable::num(pt.capacity_fraction, 4), lp::to_string(pt.status)});
+                           TextTable::num(pt.capacity_fraction, 4),
+                           bench::status_line(pt.status, pt.note)});
     }
     curve_table.print(std::cout);
   }
 
   auto algorithms = bench::table1_algorithms(torus);
   if (!cli.has("skip-design")) {
+    auto design_point = [&](const std::string& name, lp::Status status,
+                            const std::string& note) {
+      if (status != lp::Status::Optimal) {
+        std::cout << name << " design: " << bench::status_line(status, note) << "\n";
+      }
+      auto fields = obs::Json::object();
+      fields.set("series", "design_solve")
+          .set("k", k)
+          .set("algorithm", name)
+          .set("status", lp::to_string(status));
+      jout.point(std::move(fields));
+    };
     auto two_turn = design_two_turn(torus);
+    design_point("2TURN", two_turn.status, two_turn.note);
     if (two_turn.status == lp::Status::Optimal) algorithms.push_back(two_turn.routing);
     auto two_turn_a = design_two_turn_avg(torus, design_samples);
+    design_point("2TURNA", two_turn_a.status, two_turn_a.note);
     if (two_turn_a.status == lp::Status::Optimal) algorithms.push_back(two_turn_a.routing);
     auto avg_opt = design_average_case_optimal(torus, design_samples);
+    design_point("AVG-OPT", avg_opt.status, avg_opt.note);
     if (avg_opt.status == lp::Status::Optimal) algorithms.push_back(avg_opt.routing);
     auto min_avg = design_minimal_avg(torus, design_samples);
+    design_point("MIN-A", min_avg.status, min_avg.note);
     if (min_avg.status == lp::Status::Optimal) algorithms.push_back(min_avg.routing);
   }
 
@@ -63,8 +92,16 @@ int main(int argc, char** argv) {
             << "):\n";
   TextTable pts({"algorithm", "H_avg/minimal", "Theta_avg/cap"});
   for (const auto& r : algorithms) {
-    pts.add_row_mixed({r.name()},
-                      {r.normalized_locality(), ideal * average_case(r, eval_samples).approx_throughput});
+    const double loc = r.normalized_locality();
+    const double avg = ideal * average_case(r, eval_samples).approx_throughput;
+    pts.add_row_mixed({r.name()}, {loc, avg});
+    auto fields = obs::Json::object();
+    fields.set("series", "algorithm")
+        .set("k", k)
+        .set("algorithm", r.name())
+        .set("locality", loc)
+        .set("avg_capacity_fraction", avg);
+    jout.point(std::move(fields));
   }
   pts.print(std::cout);
   std::cout << "\npaper shape (k=8): max average-case ~0.628 of capacity; VAL at 0.50;\n"

@@ -1,7 +1,9 @@
 // Microbenchmarks (google-benchmark) of the library's computational
 // kernels: Hungarian matching, channel-load evaluation, sparse LU
-// factorization, the revised simplex on a capacity LP, and the flit
-// simulator cycle loop.
+// factorization, the revised simplex on a capacity LP, the flit simulator
+// cycle loop, and the tcr::obs instrumentation primitives (the LP kernels
+// double as the overhead check: BM_CapacityLP runs with fine-grained timing
+// off, BM_CapacityLPTimed with it on).
 #include <benchmark/benchmark.h>
 
 #include "tcr/core/arc_flow.hpp"
@@ -9,6 +11,7 @@
 #include "tcr/matching/hungarian.hpp"
 #include "tcr/metrics/loads.hpp"
 #include "tcr/metrics/worst_case.hpp"
+#include "tcr/obs/registry.hpp"
 #include "tcr/routing/dor.hpp"
 #include "tcr/routing/valiant.hpp"
 #include "tcr/sim/simulator.hpp"
@@ -82,6 +85,59 @@ void BM_CapacityLP(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CapacityLP)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// Same solve as BM_CapacityLP but with the registry's fine-grained timing
+// enabled (what a --json sink turns on). Comparing the two quantifies the
+// cost of the per-iteration ScopedTimer spans; BM_CapacityLP vs a build
+// without tcr::obs quantifies the always-on counters, which are plain
+// relaxed atomic adds.
+void BM_CapacityLPTimed(benchmark::State& state) {
+  const Torus t(static_cast<int>(state.range(0)));
+  obs::Registry::instance().set_timing_enabled(true);
+  for (auto _ : state) {
+    SymmetricDesignConfig cfg;
+    cfg.objective = DesignObjective::Uniform;
+    SymmetricArcDesign design(t, cfg);
+    benchmark::DoNotOptimize(design.solve().objective);
+  }
+  obs::Registry::instance().set_timing_enabled(false);
+}
+BENCHMARK(BM_CapacityLPTimed)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_ObsCounterAdd(benchmark::State& state) {
+  auto& c = obs::Registry::instance().counter("bench.obs.counter");
+  for (auto _ : state) c.add(1);
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  auto& h = obs::Registry::instance().histogram("bench.obs.hist", 1e-9, 2.0);
+  double v = 1e-6;
+  for (auto _ : state) {
+    h.record(v);
+    v = v < 1e3 ? v * 1.0001 : 1e-6;
+  }
+}
+BENCHMARK(BM_ObsHistogramRecord);
+
+void BM_ObsScopedTimerDisabled(benchmark::State& state) {
+  auto& tm = obs::Registry::instance().timer("bench.obs.timer");
+  obs::Registry::instance().set_timing_enabled(false);
+  for (auto _ : state) {
+    obs::ScopedTimer span(tm);
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_ObsScopedTimerDisabled);
+
+void BM_ObsScopedTimerEnabled(benchmark::State& state) {
+  auto& tm = obs::Registry::instance().timer("bench.obs.timer");
+  for (auto _ : state) {
+    obs::ScopedTimer span(tm, /*enabled=*/true);
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_ObsScopedTimerEnabled);
 
 void BM_SimulatorCycles(benchmark::State& state) {
   const Torus t(4);

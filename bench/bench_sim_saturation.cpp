@@ -6,7 +6,8 @@
 // deadlock-free VC assignments of §5.2 under load.
 //
 // Flags: --k (default 4), --cycles (default 3000), --patterns
-// (comma-free: runs uniform + complement + tornado).
+// (comma-free: runs uniform + complement + tornado), --json <path>
+// (one JSON record per algorithm x pattern, with the sim obs snapshot).
 #include "bench_common.hpp"
 
 #include "tcr/metrics/loads.hpp"
@@ -19,6 +20,7 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const int k = cli.get_int("k", 4);
   const int cycles = cli.get_int("cycles", 3000);
+  bench::JsonOutput jout(cli, "sim_saturation");
 
   bench::banner("Flit-level simulator: measured vs analytic saturation throughput",
                 "extension experiment; k = " + std::to_string(k));
@@ -29,7 +31,7 @@ int main(int argc, char** argv) {
   cfg.drain_cycles = 0;
 
   TextTable table({"algorithm", "pattern", "analytic Theta", "sim saturation", "fraction",
-                   "deadlock"});
+                   "deadlock", "lat p50", "lat p95", "lat p99", "lat max"});
   const std::vector<std::string> patterns = {"uniform", "complement", "tornado"};
   for (auto make : {make_dor, make_ival, make_valiant}) {
     const TorusRouting r = make(torus);
@@ -43,12 +45,28 @@ int main(int argc, char** argv) {
         analytic = std::min(1.0, 1.0 / max_channel_load(r, perm));
       }
       const double sat = saturation_throughput(r, perm, cfg, 0.06);
-      // A high-load probe for the deadlock column.
+      // A high-load probe for the deadlock and latency-distribution columns.
       SimConfig probe = cfg;
       probe.deadlock_threshold = 1000;
       const auto high = simulate(r, 0.95, perm, probe);
       table.add_row({r.name(), name, TextTable::num(analytic, 3), TextTable::num(sat, 3),
-                     TextTable::num(sat / analytic, 2), high.deadlocked ? "YES" : "no"});
+                     TextTable::num(sat / analytic, 2), high.deadlocked ? "YES" : "no",
+                     TextTable::num(high.p50_latency, 1), TextTable::num(high.p95_latency, 1),
+                     TextTable::num(high.p99_latency, 1), TextTable::num(high.max_latency, 0)});
+      auto fields = obs::Json::object();
+      fields.set("k", k)
+          .set("algorithm", r.name())
+          .set("pattern", name)
+          .set("analytic_throughput", analytic)
+          .set("sim_saturation", sat)
+          .set("fraction_of_bound", sat / analytic)
+          .set("deadlocked", high.deadlocked)
+          .set("avg_latency", high.avg_latency)
+          .set("p50_latency", high.p50_latency)
+          .set("p95_latency", high.p95_latency)
+          .set("p99_latency", high.p99_latency)
+          .set("max_latency", high.max_latency);
+      jout.point(std::move(fields));
     }
   }
   table.print(std::cout);

@@ -6,7 +6,9 @@
 //
 // Flags: --k <radix> (default 8), --samples <n> eval traffic samples
 // (default 100), --design-samples <n> permutations inside the 2TURNA LP
-// (default 32), --skip-design (skip the LP-designed algorithms).
+// (default 32), --skip-design (skip the LP-designed algorithms),
+// --json <path> (one JSON-lines record per design solve and per algorithm
+// row, each carrying the obs snapshot of the work it covers).
 #include "bench_common.hpp"
 
 #include "tcr/core/path_design.hpp"
@@ -21,6 +23,7 @@ int main(int argc, char** argv) {
   const int k = cli.get_int("k", 8);
   const int eval_samples = cli.get_int("samples", 100);
   const int design_samples = cli.get_int("design-samples", 16);
+  bench::JsonOutput jout(cli, "table1_algorithms");
 
   bench::banner("Table 1 / Figure 1 & 6 algorithm points — " + std::to_string(k) +
                     "-ary 2-cube",
@@ -35,7 +38,17 @@ int main(int argc, char** argv) {
     Stopwatch sw;
     std::cout << "solving 2TURN design LP (worst-case, lexicographic)...\n";
     auto two_turn = design_two_turn(torus);
-    std::cout << "  " << lp::to_string(two_turn.status) << " in " << sw.seconds() << " s\n";
+    std::cout << "  " << bench::status_line(two_turn.status, two_turn.note) << " in "
+              << sw.seconds() << " s\n";
+    {
+      auto fields = obs::Json::object();
+      fields.set("series", "design_solve")
+          .set("k", k)
+          .set("algorithm", "2TURN")
+          .set("status", lp::to_string(two_turn.status))
+          .set("wall_s", sw.seconds());
+      jout.point(std::move(fields));
+    }
     if (two_turn.status == lp::Status::Optimal) algorithms.push_back(two_turn.routing);
 
     std::vector<std::vector<int>> perms;
@@ -43,7 +56,17 @@ int main(int argc, char** argv) {
     sw.reset();
     std::cout << "solving 2TURNA design LP (average-case, |X|=" << design_samples << ")...\n";
     auto two_turn_a = design_two_turn_avg(torus, perms);
-    std::cout << "  " << lp::to_string(two_turn_a.status) << " in " << sw.seconds() << " s\n";
+    std::cout << "  " << bench::status_line(two_turn_a.status, two_turn_a.note) << " in "
+              << sw.seconds() << " s\n";
+    {
+      auto fields = obs::Json::object();
+      fields.set("series", "design_solve")
+          .set("k", k)
+          .set("algorithm", "2TURNA")
+          .set("status", lp::to_string(two_turn_a.status))
+          .set("wall_s", sw.seconds());
+      jout.point(std::move(fields));
+    }
     if (two_turn_a.status == lp::Status::Optimal) algorithms.push_back(two_turn_a.routing);
   }
 
@@ -53,9 +76,19 @@ int main(int argc, char** argv) {
     r.validate();
     const auto avg = average_case(r, eval_set);
     const double ideal = torus.ideal_uniform_load();
+    const double loc = r.normalized_locality();
+    const double wc = worst_case_capacity_fraction(r);
     table.add_row_mixed({r.name()},
-                        {r.normalized_locality(), worst_case_capacity_fraction(r),
-                         ideal * avg.approx_throughput, ideal * avg.true_throughput});
+                        {loc, wc, ideal * avg.approx_throughput, ideal * avg.true_throughput});
+    auto fields = obs::Json::object();
+    fields.set("series", "algorithm")
+        .set("k", k)
+        .set("algorithm", r.name())
+        .set("locality", loc)
+        .set("wc_capacity_fraction", wc)
+        .set("avg_capacity_fraction_approx", ideal * avg.approx_throughput)
+        .set("avg_capacity_fraction_true", ideal * avg.true_throughput);
+    jout.point(std::move(fields));
   }
   table.print(std::cout);
   std::cout << "\npaper reference points (8-ary 2-cube): VAL locality 2.0 & wc 0.50;"

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "tcr/graph/symmetry.hpp"
+#include "tcr/obs/registry.hpp"
 #include "tcr/util/check.hpp"
 
 namespace tcr {
@@ -12,9 +13,50 @@ namespace tcr {
 using lp::Model;
 using lp::RowType;
 
+namespace {
+
+// Design-pipeline metrics (resolved once; references are stable).
+struct DesignMetrics {
+  obs::Counter& solves = obs::Registry::instance().counter("core.design.solves");
+  obs::Gauge& rows = obs::Registry::instance().gauge("core.design.rows");
+  obs::Gauge& cols = obs::Registry::instance().gauge("core.design.cols");
+  obs::Gauge& nnz = obs::Registry::instance().gauge("core.design.nnz");
+  // Flow-variable count with and without the dihedral/translation folding —
+  // the "size before/after symmetry reduction" of §4.
+  obs::Gauge& flow_vars = obs::Registry::instance().gauge("core.design.flow_vars");
+  obs::Gauge& flow_vars_unfolded =
+      obs::Registry::instance().gauge("core.design.flow_vars_unfolded");
+  obs::Gauge& last_objective = obs::Registry::instance().gauge("core.design.last_objective");
+  // Objective trajectory across the solves of a pipeline stage (lexicographic
+  // stages, cutting-plane rounds, tradeoff sweeps): the snapshot reports
+  // count/min/max/percentiles of all objectives seen since the last reset.
+  obs::Histogram& objectives =
+      obs::Registry::instance().histogram("core.design.objective", 1e-3, 1.1);
+  obs::Timer& t_build = obs::Registry::instance().timer("core.design.time.build");
+  obs::Timer& t_solve = obs::Registry::instance().timer("core.design.time.solve");
+  obs::Timer& t_decompose = obs::Registry::instance().timer("core.design.time.decompose");
+
+  static DesignMetrics& get() {
+    static DesignMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
+
 SymmetricArcDesign::SymmetricArcDesign(const Torus& torus, SymmetricDesignConfig config)
     : torus_(torus), config_(std::move(config)) {
-  build();
+  auto& met = DesignMetrics::get();
+  {
+    obs::ScopedTimer t(met.t_build);
+    build();
+  }
+  met.rows.set(model_.num_rows());
+  met.cols.set(model_.num_cols());
+  met.nnz.set(static_cast<double>(model_.num_terms()));
+  met.flow_vars.set(num_flow_vars_);
+  met.flow_vars_unfolded.set(static_cast<double>(torus_.num_nodes() - 1) *
+                             torus_.num_channels());
 }
 
 void SymmetricArcDesign::build() {
@@ -220,12 +262,21 @@ void SymmetricArcDesign::add_locality_row() {
 }
 
 DesignResult SymmetricArcDesign::solve(const lp::SimplexOptions& opts) {
-  const lp::Solution sol = lp::solve(model_, opts);
+  auto& met = DesignMetrics::get();
+  met.solves.add(1);
+  lp::Solution sol;
+  {
+    obs::ScopedTimer t(met.t_solve);
+    sol = lp::solve(model_, opts);
+  }
   DesignResult res;
   res.status = sol.status;
   res.iterations = sol.iterations;
+  res.note = sol.note;
   if (sol.status != lp::Status::Optimal) return res;
   res.objective = sol.objective;
+  met.last_objective.set(sol.objective);
+  met.objectives.record(sol.objective);
   const int n = torus_.num_nodes(), nc = torus_.num_channels();
   solution_flows_.resize(static_cast<std::size_t>(n - 1) * nc);
   double total = 0.0;
@@ -242,6 +293,7 @@ DesignResult SymmetricArcDesign::solve(const lp::SimplexOptions& opts) {
 
 TorusRouting SymmetricArcDesign::routing(const std::string& name) const {
   TCR_REQUIRE(!solution_flows_.empty(), "no stored solution; call solve() first");
+  obs::ScopedTimer t(DesignMetrics::get().t_decompose);
   const int n = torus_.num_nodes(), nc = torus_.num_channels();
   TorusRouting r(torus_, name);
   for (int e = 1; e < n; ++e) {

@@ -72,6 +72,7 @@ struct DesignResult {
   double objective = 0.0;   // optimal value of the configured objective
   double avg_hops = 0.0;    // H_avg of the designed routing, in hops
   long iterations = 0;
+  std::string note;         // solver stop diagnosis when not Optimal
 };
 
 class SymmetricArcDesign {

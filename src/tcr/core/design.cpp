@@ -32,12 +32,14 @@ OptimalDesign lexicographic(const Torus& torus, DesignObjective objective,
                     .objective = 0.0,
                     .avg_hops = 0.0,
                     .locality_norm = 0.0,
+                    .note = {},
                     .routing = TorusRouting(torus, name)};
   {
     SymmetricArcDesign stage1(torus, cfg);
     const DesignResult r1 = stage1.solve(opts);
     if (r1.status != lp::Status::Optimal) {
       out.status = r1.status;
+      out.note = "stage-1 (throughput) LP: " + r1.note;
       return out;
     }
     out.objective = r1.objective;
@@ -54,7 +56,10 @@ OptimalDesign lexicographic(const Torus& torus, DesignObjective objective,
   SymmetricArcDesign stage2(torus, cfg2);
   const DesignResult r2 = stage2.solve(opts);
   out.status = r2.status;
-  if (r2.status != lp::Status::Optimal) return out;
+  if (r2.status != lp::Status::Optimal) {
+    out.note = "stage-2 (locality) LP: " + r2.note;
+    return out;
+  }
   out.avg_hops = r2.avg_hops;
   out.locality_norm = r2.avg_hops / torus.mean_min_distance();
   out.routing = stage2.routing(name);

@@ -16,6 +16,7 @@ struct OptimalDesign {
   double objective = 0.0;       // optimal gamma (worst-case / uniform / mean)
   double avg_hops = 0.0;        // best H_avg (hops) at that optimum
   double locality_norm = 0.0;   // avg_hops / mean minimal distance
+  std::string note;             // solver stop diagnosis when not Optimal
   TorusRouting routing;
 };
 

@@ -177,6 +177,7 @@ PathDesignResult design_over_paths(const Torus& torus, const std::string& name,
 
   PathDesignResult out{.status = lp::Status::Numerical,
                        .objective = 0.0,
+                       .note = {},
                        .routing = TorusRouting(torus, name)};
 
   // Stage 1: optimal throughput over the family.
@@ -184,6 +185,7 @@ PathDesignResult design_over_paths(const Torus& torus, const std::string& name,
   const lp::Solution s1 = stage1.solve(opts);
   if (s1.status != lp::Status::Optimal) {
     out.status = s1.status;
+    out.note = "stage-1 (throughput) path LP: " + s1.note;
     return out;
   }
   out.objective = s1.objective;
@@ -198,7 +200,10 @@ PathDesignResult design_over_paths(const Torus& torus, const std::string& name,
   PathLP stage2(torus, family, config, DesignObjective::Locality, cap);
   const lp::Solution s2 = stage2.solve(opts);
   out.status = s2.status;
-  if (s2.status != lp::Status::Optimal) return out;
+  if (s2.status != lp::Status::Optimal) {
+    out.note = "stage-2 (locality) path LP: " + s2.note;
+    return out;
+  }
   out.routing = stage2.extract(s2, name);
   return out;
 }

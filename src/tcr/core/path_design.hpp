@@ -26,6 +26,7 @@ struct PathDesignConfig {
 struct PathDesignResult {
   lp::Status status = lp::Status::Numerical;
   double objective = 0.0;  // optimal gamma of the configured objective
+  std::string note;        // solver stop diagnosis when not Optimal
   TorusRouting routing;
 };
 

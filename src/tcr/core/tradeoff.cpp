@@ -24,6 +24,7 @@ std::vector<TradeoffPoint> sweep(const Torus& torus, DesignObjective objective,
     const DesignResult res = design.solve(opts);
     out[i].locality = localities[i];
     out[i].status = res.status;
+    out[i].note = res.note;
     if (res.status == lp::Status::Optimal && res.objective > 0.0) {
       out[i].capacity_fraction = ideal / res.objective;
     }

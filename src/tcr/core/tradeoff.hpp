@@ -5,6 +5,7 @@
 // multiple of the minimal average).
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "tcr/core/arc_flow.hpp"
@@ -16,6 +17,7 @@ struct TradeoffPoint {
   double locality = 0.0;           // normalized average path length (>= 1)
   double capacity_fraction = 0.0;  // optimal Theta / capacity at that locality
   lp::Status status = lp::Status::Numerical;
+  std::string note;                // solver stop diagnosis when not Optimal
 };
 
 /// Worst-case curve (Figure 1): for each normalized locality L, the best

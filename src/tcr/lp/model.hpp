@@ -40,6 +40,9 @@ struct Solution {
   std::vector<double> reduced;  // reduced costs of structural variables
   long iterations = 0;          // total simplex iterations (both phases)
   long phase1_iterations = 0;
+  /// Human-readable diagnosis of why a non-optimal solve stopped (e.g.
+  /// "iteration limit after 312 degenerate pivots"); empty when Optimal.
+  std::string note;
 
   bool optimal() const { return status == Status::Optimal; }
 };

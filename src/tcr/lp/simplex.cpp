@@ -2,17 +2,58 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "tcr/lin/sparse.hpp"
 #include "tcr/lin/sparse_lu.hpp"
 #include "tcr/lp/standard_form.hpp"
+#include "tcr/obs/registry.hpp"
 #include "tcr/util/check.hpp"
 #include "tcr/util/rng.hpp"
 
 namespace tcr::lp {
 
 namespace {
+
+// Registry metrics of the solver, resolved once per process; the returned
+// references stay valid forever so the hot loop never touches the registry.
+struct SimplexMetrics {
+  obs::Counter& solves = obs::Registry::instance().counter("lp.simplex.solves");
+  obs::Counter& iterations = obs::Registry::instance().counter("lp.simplex.iterations");
+  obs::Counter& phase1_iterations =
+      obs::Registry::instance().counter("lp.simplex.phase1_iterations");
+  obs::Counter& refactorizations =
+      obs::Registry::instance().counter("lp.simplex.refactorizations");
+  obs::Counter& degenerate_pivots =
+      obs::Registry::instance().counter("lp.simplex.degenerate_pivots");
+  obs::Counter& bland_activations =
+      obs::Registry::instance().counter("lp.simplex.bland_activations");
+  obs::Counter& bound_flips = obs::Registry::instance().counter("lp.simplex.bound_flips");
+  obs::Counter& retries = obs::Registry::instance().counter("lp.simplex.numerical_retries");
+  // Eta-file length at each refactorization and LU factor fill-in (nonzeros).
+  obs::Histogram& eta_length =
+      obs::Registry::instance().histogram("lp.simplex.eta_length", 1.0, 2.0);
+  obs::Histogram& lu_fill_nnz =
+      obs::Registry::instance().histogram("lp.simplex.lu_fill_nnz", 1.0, 2.0);
+  obs::Histogram& degenerate_runs =
+      obs::Registry::instance().histogram("lp.simplex.degenerate_run", 1.0, 2.0);
+  // Per-phase and per-kernel time. The kernel timers wrap inner-loop spans
+  // and only read clocks when Registry::timing_enabled().
+  obs::Timer& t_total = obs::Registry::instance().timer("lp.simplex.time.total");
+  obs::Timer& t_phase1 = obs::Registry::instance().timer("lp.simplex.time.phase1");
+  obs::Timer& t_phase2 = obs::Registry::instance().timer("lp.simplex.time.phase2");
+  obs::Timer& t_pricing = obs::Registry::instance().timer("lp.simplex.time.pricing");
+  obs::Timer& t_ratio_test = obs::Registry::instance().timer("lp.simplex.time.ratio_test");
+  obs::Timer& t_ftran = obs::Registry::instance().timer("lp.simplex.time.ftran");
+  obs::Timer& t_btran = obs::Registry::instance().timer("lp.simplex.time.btran");
+  obs::Timer& t_refactor = obs::Registry::instance().timer("lp.simplex.time.refactor");
+
+  static SimplexMetrics& get() {
+    static SimplexMetrics m;
+    return m;
+  }
+};
 
 using detail::kAtLower;
 using detail::kAtUpper;
@@ -46,23 +87,34 @@ class RevisedSimplex {
   }
 
   Solution run() {
+    obs::ScopedTimer total(met_.t_total);
+    met_.solves.add(1);
     Solution sol;
     if (!refactorize()) {
       sol.status = Status::Numerical;
+      finish(sol);
       return sol;
     }
 
     if (sf_.need_phase1) {
-      const Status s1 = optimize(sf_.cost1, /*phase1=*/true);
+      Status s1;
+      {
+        obs::ScopedTimer t(met_.t_phase1);
+        s1 = optimize(sf_.cost1, /*phase1=*/true);
+      }
       sol.phase1_iterations = iters_;
+      met_.phase1_iterations.add(iters_);
       if (s1 != Status::Optimal) {
         sol.status = (s1 == Status::Unbounded) ? Status::Numerical : s1;
         sol.iterations = iters_;
+        finish(sol);
         return sol;
       }
-      if (objective_of(sf_.cost1) > 10 * opt_.feas_tol * (1 + m_ * 0.01)) {
+      phase1_residual_ = objective_of(sf_.cost1);
+      if (phase1_residual_ > 10 * opt_.feas_tol * (1 + m_ * 0.01)) {
         sol.status = Status::Infeasible;
         sol.iterations = iters_;
+        finish(sol);
         return sol;
       }
     }
@@ -72,36 +124,78 @@ class RevisedSimplex {
       if (sf_.artificial[j]) sf_.up[j] = 0.0;
 
     Status s2;
-    if (opt_.perturb) {
-      // Deterministic tiny perturbation breaks massive dual degeneracy in the
-      // MCF models; a clean pass with the true costs follows.
-      std::vector<double> pcost = sf_.cost;
-      for (int j = 0; j < n_; ++j) {
-        // Free variables stay unperturbed: their null directions (e.g. a
-        // constant shift of dual potentials) would make the perturbed
-        // problem unbounded.
-        if (!std::isfinite(sf_.lo[j]) && !std::isfinite(sf_.up[j])) continue;
-        pcost[j] += 1e-9 * (1.0 + std::abs(pcost[j])) * (0.5 + rng_.uniform());
+    {
+      obs::ScopedTimer t(met_.t_phase2);
+      if (opt_.perturb) {
+        // Deterministic tiny perturbation breaks massive dual degeneracy in
+        // the MCF models; a clean pass with the true costs follows.
+        std::vector<double> pcost = sf_.cost;
+        for (int j = 0; j < n_; ++j) {
+          // Free variables stay unperturbed: their null directions (e.g. a
+          // constant shift of dual potentials) would make the perturbed
+          // problem unbounded.
+          if (!std::isfinite(sf_.lo[j]) && !std::isfinite(sf_.up[j])) continue;
+          pcost[j] += 1e-9 * (1.0 + std::abs(pcost[j])) * (0.5 + rng_.uniform());
+        }
+        s2 = optimize(pcost, /*phase1=*/false);
+        if (s2 == Status::Optimal) s2 = optimize(sf_.cost, false);
+      } else {
+        s2 = optimize(sf_.cost, false);
       }
-      s2 = optimize(pcost, /*phase1=*/false);
-      if (s2 == Status::Optimal) s2 = optimize(sf_.cost, false);
-    } else {
-      s2 = optimize(sf_.cost, false);
     }
 
     sol.iterations = iters_;
     sol.status = s2;
-    if (s2 != Status::Optimal) return sol;
+    if (s2 != Status::Optimal) {
+      finish(sol);
+      return sol;
+    }
     extract(sol);
+    finish(sol);
     return sol;
   }
 
  private:
+  // ---- instrumentation -------------------------------------------------
+
+  // Final per-solve bookkeeping: registry counters and the human-readable
+  // stop note for non-optimal outcomes.
+  void finish(Solution& sol) {
+    met_.iterations.add(iters_);
+    switch (sol.status) {
+      case Status::Optimal:
+        break;
+      case Status::IterationLimit:
+        sol.note = "iteration limit after " + std::to_string(iters_) + " iterations (" +
+                   std::to_string(degenerate_total_) + " degenerate pivots, Bland mode x" +
+                   std::to_string(bland_activations_) + ")";
+        break;
+      case Status::Infeasible:
+        sol.note = "phase-1 optimum left residual infeasibility " +
+                   std::to_string(phase1_residual_) + " after " +
+                   std::to_string(sol.phase1_iterations) + " iterations";
+        break;
+      case Status::Unbounded:
+        sol.note = "unbounded improving direction on column " +
+                   std::to_string(unbounded_col_) + " at iteration " + std::to_string(iters_);
+        break;
+      case Status::Numerical:
+        sol.note = "numerical breakdown after " + std::to_string(iters_) + " iterations, " +
+                   std::to_string(refactor_count_) + " refactorizations";
+        break;
+    }
+  }
+
   // ---- basis linear algebra -------------------------------------------
 
   bool refactorize() {
+    obs::ScopedTimer t(met_.t_refactor);
+    met_.refactorizations.add(1);
+    ++refactor_count_;
+    met_.eta_length.record(static_cast<double>(etas_.size()));
     etas_.clear();
     if (!lu_.factor(a_, basic_)) return false;
+    met_.lu_fill_nnz.record(static_cast<double>(lu_.factor_nnz()));
     compute_basic_values();
     return true;
   }
@@ -163,17 +257,40 @@ class RevisedSimplex {
     int degenerate_streak = 0;
     int since_refactor = 0;
     bool fresh_basis = true;  // no pivots since the last refactorization
+    bool bland_active = false;
+    // Kernel timing is hoisted: checked once per optimize() call, not per
+    // iteration, so an un-instrumented solve pays nothing for the spans.
+    const bool timed = obs::Registry::instance().timing_enabled();
     // DEVEX reference weights (reset per optimize call).
     devex_.assign(n_, 1.0);
 
-    for (;;) {
-      if (++iters_ > max_iters_) return Status::IterationLimit;
+    // Record the final degenerate run when leaving the loop.
+    const auto flush_degenerate_run = [&] {
+      if (degenerate_streak > 0)
+        met_.degenerate_runs.record(static_cast<double>(degenerate_streak));
+    };
 
-      for (int i = 0; i < m_; ++i) cb[i] = cost[basic_[i]];
-      btran(cb, y);
+    for (;;) {
+      if (++iters_ > max_iters_) {
+        flush_degenerate_run();
+        return Status::IterationLimit;
+      }
+
+      {
+        obs::ScopedTimer t(met_.t_btran, timed);
+        for (int i = 0; i < m_; ++i) cb[i] = cost[basic_[i]];
+        btran(cb, y);
+      }
 
       // ---- pricing (DEVEX: maximize d^2 / reference weight) ----
       const bool bland = degenerate_streak >= opt_.bland_after;
+      if (bland && !bland_active) {
+        bland_active = true;
+        ++bland_activations_;
+        met_.bland_activations.add(1);
+      }
+      if (!bland) bland_active = false;
+      obs::ScopedTimer pricing_timer(met_.t_pricing, timed);
       int q = -1, dir = 0;
       double best = 0.0;
       for (int j = 0; j < n_; ++j) {
@@ -198,6 +315,7 @@ class RevisedSimplex {
           dir = jdir;
         }
       }
+      pricing_timer.stop();
       if (q < 0) {
         // Confirm optimality against a freshly factorized basis.
         if (!fresh_basis) {
@@ -207,15 +325,20 @@ class RevisedSimplex {
           --iters_;
           continue;
         }
+        flush_degenerate_run();
         return Status::Optimal;
       }
 
       // ---- FTRAN ----
-      col_buf_.assign(m_, 0.0);
-      a_.add_column_to(q, 1.0, col_buf_);
-      ftran(col_buf_, w);
+      {
+        obs::ScopedTimer t(met_.t_ftran, timed);
+        col_buf_.assign(m_, 0.0);
+        a_.add_column_to(q, 1.0, col_buf_);
+        ftran(col_buf_, w);
+      }
 
       // ---- ratio test (two-pass Harris) ----
+      obs::ScopedTimer ratio_timer(met_.t_ratio_test, timed);
       const double own_range = sf_.up[q] - sf_.lo[q];
       double t_limit = std::isfinite(own_range) ? own_range : kInf;
 
@@ -244,6 +367,8 @@ class RevisedSimplex {
           --iters_;
           continue;
         }
+        flush_degenerate_run();
+        unbounded_col_ = q;
         return phase1 ? Status::Numerical : Status::Unbounded;
       }
 
@@ -277,12 +402,16 @@ class RevisedSimplex {
         }
       }
 
+      ratio_timer.stop();
+
       if (leave < 0) {
         // Bound flip (t_step = own_range is the binding limit).
         TCR_ASSERT(std::isfinite(t_step), "flip without finite range");
         for (int i = 0; i < m_; ++i) xb_[i] -= t_step * dir * w[i];
         stat_[q] = (stat_[q] == kAtLower) ? kAtUpper : kAtLower;
+        flush_degenerate_run();
         degenerate_streak = 0;
+        met_.bound_flips.add(1);
         continue;
       }
       // A basic blocker leaves; if the own-bound range is smaller, flip
@@ -290,11 +419,20 @@ class RevisedSimplex {
       if (std::isfinite(own_range) && own_range < t_step) {
         for (int i = 0; i < m_; ++i) xb_[i] -= own_range * dir * w[i];
         stat_[q] = (stat_[q] == kAtLower) ? kAtUpper : kAtLower;
+        flush_degenerate_run();
         degenerate_streak = 0;
+        met_.bound_flips.add(1);
         continue;
       }
 
-      degenerate_streak = (t_step <= 1e-10) ? degenerate_streak + 1 : 0;
+      if (t_step <= 1e-10) {
+        ++degenerate_streak;
+        ++degenerate_total_;
+        met_.degenerate_pivots.add(1);
+      } else {
+        flush_degenerate_run();
+        degenerate_streak = 0;
+      }
 
       // ---- DEVEX weight update (Forrest-Goldfarb) ----
       // Needs the pivot row alpha = e_r' B^-1 N; one extra BTRAN plus a pass
@@ -304,7 +442,11 @@ class RevisedSimplex {
         const double devex_q = std::max(devex_[q], 1.0);
         std::fill(er.begin(), er.end(), 0.0);
         er[leave] = 1.0;
-        btran(er, rho);
+        {
+          obs::ScopedTimer t(met_.t_btran, timed);
+          btran(er, rho);
+        }
+        obs::ScopedTimer devex_timer(met_.t_pricing, timed);
         const double scale = devex_q / (alpha_q * alpha_q);
         for (int j = 0; j < n_; ++j) {
           if (stat_[j] == kBasic || j == q || sf_.lo[j] == sf_.up[j]) continue;
@@ -388,6 +530,13 @@ class RevisedSimplex {
   long max_iters_ = 0;
   long iters_ = 0;
 
+  SimplexMetrics& met_ = SimplexMetrics::get();
+  long degenerate_total_ = 0;
+  int bland_activations_ = 0;
+  int refactor_count_ = 0;
+  int unbounded_col_ = -1;
+  double phase1_residual_ = 0.0;
+
   std::vector<VarStatus> stat_;
   std::vector<int> basic_;
   std::vector<int> pos_of_col_;
@@ -411,6 +560,7 @@ Solution solve(const Model& model, const SimplexOptions& options) {
   // One retry on numerical breakdown: different perturbation seed and the
   // opposite perturbation setting shift the pivot sequence enough to escape
   // most bad bases.
+  SimplexMetrics::get().retries.add(1);
   SimplexOptions retry = options;
   retry.seed = options.seed * 2654435761ULL + 17;
   retry.perturb = !options.perturb;

@@ -1,0 +1,151 @@
+#include "tcr/obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+#include "tcr/util/check.hpp"
+
+namespace tcr::obs {
+
+namespace {
+
+void dump_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+void dump_double(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";  // strict JSON has no NaN/Inf
+    return;
+  }
+  char buf[32];
+  // %.17g round-trips every double; prefer the shorter %.15g when lossless.
+  std::snprintf(buf, sizeof(buf), "%.15g", v);
+  if (std::strtod(buf, nullptr) != v) std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+}  // namespace
+
+Json& Json::set(std::string key, Json value) {
+  TCR_REQUIRE(is_object(), "Json::set on a non-object");
+  object_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push_back(Json value) {
+  TCR_REQUIRE(is_array(), "Json::push_back on a non-array");
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+void Json::dump(std::ostream& os) const {
+  switch (kind_) {
+    case Kind::Null: os << "null"; break;
+    case Kind::Bool: os << (bool_ ? "true" : "false"); break;
+    case Kind::Int: os << int_; break;
+    case Kind::Double: dump_double(os, double_); break;
+    case Kind::String: dump_string(os, string_); break;
+    case Kind::Array: {
+      os << '[';
+      bool first = true;
+      for (const auto& v : array_) {
+        if (!first) os << ',';
+        first = false;
+        v.dump(os);
+      }
+      os << ']';
+      break;
+    }
+    case Kind::Object: {
+      os << '{';
+      bool first = true;
+      for (const auto& [key, v] : object_) {
+        if (!first) os << ',';
+        first = false;
+        dump_string(os, key);
+        os << ':';
+        v.dump(os);
+      }
+      os << '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::ostringstream os;
+  dump(os);
+  return os.str();
+}
+
+Json to_json(const Snapshot& snap) {
+  Json counters = Json::object();
+  for (const auto& [name, v] : snap.counters) counters.set(name, static_cast<long long>(v));
+  Json gauges = Json::object();
+  for (const auto& [name, v] : snap.gauges) gauges.set(name, v);
+  Json timers = Json::object();
+  for (const auto& [name, t] : snap.timers) {
+    timers.set(name, Json::object()
+                         .set("count", static_cast<long long>(t.count))
+                         .set("wall_s", t.wall_seconds)
+                         .set("cpu_s", t.cpu_seconds));
+  }
+  Json histograms = Json::object();
+  for (const auto& [name, h] : snap.histograms) {
+    histograms.set(name, Json::object()
+                             .set("count", static_cast<long long>(h.count))
+                             .set("sum", h.sum)
+                             .set("min", h.min)
+                             .set("max", h.max)
+                             .set("p50", h.p50)
+                             .set("p95", h.p95)
+                             .set("p99", h.p99));
+  }
+  return Json::object()
+      .set("counters", std::move(counters))
+      .set("gauges", std::move(gauges))
+      .set("timers", std::move(timers))
+      .set("histograms", std::move(histograms));
+}
+
+Json snapshot_json() { return to_json(Registry::instance().snapshot()); }
+
+EventSink::EventSink(std::ostream& os) : os_(&os) {}
+
+EventSink::EventSink(const std::string& path)
+    : file_(path, std::ios::out | std::ios::trunc), os_(&file_) {}
+
+bool EventSink::ok() const { return os_ != nullptr && os_->good(); }
+
+void EventSink::write(const Json& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record.dump(*os_);
+  *os_ << '\n';
+  os_->flush();
+  ++records_;
+}
+
+}  // namespace tcr::obs

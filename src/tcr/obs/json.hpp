@@ -1,0 +1,92 @@
+// Minimal JSON value type and JSON-lines event sink for machine-readable
+// telemetry (the benches' --json output, BENCH_*.json trajectories).
+//
+// Deliberately small: only what serialization needs. Object keys keep
+// insertion order so records are stable and diffable; doubles render with
+// round-trip precision; NaN/Inf render as null (strict JSON).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tcr/obs/registry.hpp"
+
+namespace tcr::obs {
+
+class Json {
+ public:
+  using Object = std::vector<std::pair<std::string, Json>>;
+  using Array = std::vector<Json>;
+
+  Json() : kind_(Kind::Null) {}
+  Json(bool b) : kind_(Kind::Bool), bool_(b) {}
+  Json(int v) : kind_(Kind::Int), int_(v) {}
+  Json(long v) : kind_(Kind::Int), int_(v) {}
+  Json(long long v) : kind_(Kind::Int), int_(v) {}
+  Json(double v) : kind_(Kind::Double), double_(v) {}
+  Json(const char* s) : kind_(Kind::String), string_(s) {}
+  Json(std::string s) : kind_(Kind::String), string_(std::move(s)) {}
+  Json(Object o) : kind_(Kind::Object), object_(std::move(o)) {}
+  Json(Array a) : kind_(Kind::Array), array_(std::move(a)) {}
+
+  static Json object() { return Json(Object{}); }
+  static Json array() { return Json(Array{}); }
+
+  bool is_object() const { return kind_ == Kind::Object; }
+  bool is_array() const { return kind_ == Kind::Array; }
+
+  /// Append a key (objects only). Returns *this for chaining.
+  Json& set(std::string key, Json value);
+  /// Append an element (arrays only).
+  Json& push_back(Json value);
+
+  void dump(std::ostream& os) const;
+  std::string dump() const;
+
+ private:
+  enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Serialize a registry snapshot with stable keys:
+/// {"counters": {...}, "gauges": {...}, "timers": {name: {count, wall_s,
+/// cpu_s}}, "histograms": {name: {count, sum, min, max, p50, p95, p99}}}.
+Json to_json(const Snapshot& snap);
+
+/// Snapshot of the process-wide registry, serialized.
+Json snapshot_json();
+
+/// JSON-lines sink: one record per line, flushed per write, safe to share
+/// across threads.
+class EventSink {
+ public:
+  /// Write to an externally-owned stream (not closed on destruction).
+  explicit EventSink(std::ostream& os);
+  /// Open (truncate) a file; check ok() before trusting writes.
+  explicit EventSink(const std::string& path);
+
+  bool ok() const;
+  void write(const Json& record);
+  std::int64_t records_written() const { return records_; }
+
+ private:
+  std::ofstream file_;
+  std::ostream* os_;
+  std::mutex mu_;
+  std::int64_t records_ = 0;
+};
+
+}  // namespace tcr::obs

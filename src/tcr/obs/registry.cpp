@@ -1,0 +1,173 @@
+#include "tcr/obs/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tcr/util/check.hpp"
+
+namespace tcr::obs {
+
+namespace {
+
+// Lock-free min/max over atomic<double> via CAS.
+void atomic_min(std::atomic<double>& target, double v) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur && !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double v) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur && !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_add(std::atomic<double>& target, double v) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(double least, double growth)
+    : least_(least), growth_(growth), inv_log_growth_(1.0 / std::log(growth)) {
+  TCR_REQUIRE(least > 0.0 && growth > 1.0, "histogram needs least > 0 and growth > 1");
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+int Histogram::bucket_index(double v) const noexcept {
+  if (!(v >= least_)) return 0;  // also catches NaN and negatives
+  const int i = 1 + static_cast<int>(std::floor(std::log(v / least_) * inv_log_growth_));
+  return std::clamp(i, 1, kNumBuckets - 1);
+}
+
+double Histogram::bucket_lower(int i) const noexcept {
+  if (i <= 0) return 0.0;
+  return least_ * std::pow(growth_, i - 1);
+}
+
+double Histogram::bucket_upper(int i) const noexcept {
+  return least_ * std::pow(growth_, i);
+}
+
+void Histogram::record(double v) noexcept {
+  if (std::isnan(v)) return;
+  if (v < 0.0) v = 0.0;
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  const std::int64_t prev = count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  if (prev == 0) {
+    // First sample initializes min/max; a racing second sample still
+    // converges via the CAS loops below.
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+  }
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+double Histogram::mean() const noexcept {
+  const std::int64_t c = count();
+  return c > 0 ? sum() / static_cast<double>(c) : 0.0;
+}
+
+double Histogram::min() const noexcept {
+  return count() > 0 ? min_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::max() const noexcept {
+  return count() > 0 ? max_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::percentile(double p) const noexcept {
+  const std::int64_t total = count();
+  if (total <= 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank in [1, total]; find the bucket containing it and interpolate.
+  const double rank = p * static_cast<double>(total);
+  std::int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const std::int64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= rank) {
+      const double frac =
+          std::clamp((rank - static_cast<double>(seen)) / static_cast<double>(in_bucket),
+                     0.0, 1.0);
+      const double lo = bucket_lower(i);
+      const double hi = bucket_upper(i);
+      const double v = lo + frac * (hi - lo);
+      return std::clamp(v, min(), max());
+    }
+    seen += in_bucket;
+  }
+  return max();
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+Registry& Registry::instance() {
+  static Registry reg;
+  return reg;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Timer& Registry::timer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = timers_[name];
+  if (!slot) slot = std::make_unique<Timer>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name, double least, double growth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(least, growth);
+  return *slot;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, t] : timers_) t->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, t] : timers_) {
+    snap.timers[name] = {t->count(), t->wall_seconds(), t->cpu_seconds()};
+  }
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = {h->count(),          h->sum(),
+                             h->min(),            h->max(),
+                             h->percentile(0.50), h->percentile(0.95),
+                             h->percentile(0.99)};
+  }
+  return snap;
+}
+
+}  // namespace tcr::obs

@@ -1,18 +1,73 @@
 #include "tcr/sim/simulator.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "tcr/util/check.hpp"
 
 namespace tcr {
 
+namespace {
+
+// Process-wide simulator metrics; resolved once, references live forever.
+struct SimMetrics {
+  obs::Counter& runs;
+  obs::Counter& deadlocks;
+  obs::Counter& near_misses;
+  obs::Histogram& latency;
+  obs::Histogram& injection_rate;
+  obs::Histogram& accepted_rate;
+
+  static SimMetrics& get() {
+    static SimMetrics m;
+    return m;
+  }
+
+ private:
+  SimMetrics()
+      : runs(obs::Registry::instance().counter("sim.runs")),
+        deadlocks(obs::Registry::instance().counter("sim.deadlocks")),
+        near_misses(obs::Registry::instance().counter("sim.deadlock_near_miss")),
+        latency(obs::Registry::instance().histogram("sim.packet_latency", 1.0, 1.2)),
+        injection_rate(obs::Registry::instance().histogram("sim.injection_rate", 1e-3, 1.1)),
+        accepted_rate(obs::Registry::instance().histogram("sim.accepted_rate", 1e-3, 1.1)) {}
+};
+
+}  // namespace
+
 Simulator::Simulator(const TorusRouting& routing, TrafficGen& gen, const SimConfig& config)
     : torus_(routing.torus()), gen_(gen), cfg_(config) {
   TCR_REQUIRE(cfg_.vcs >= 1 && cfg_.buffer_depth >= 1, "need at least one VC and one slot");
+  TCR_REQUIRE(cfg_.stats_window >= 1, "stats window must be positive");
   buffers_.resize(static_cast<std::size_t>(torus_.num_channels()) * cfg_.vcs);
   source_queue_.resize(torus_.num_nodes());
   eject_rr_.assign(torus_.num_nodes(), 0);
   output_rr_.assign(torus_.num_channels(), 0);
+  occupancy_.reserve(cfg_.vcs);
+  for (int vc = 0; vc < cfg_.vcs; ++vc) {
+    occupancy_.push_back(&obs::Registry::instance().histogram(
+        "sim.occupancy.vc" + std::to_string(vc), 1e-3, 1.3));
+  }
+}
+
+// Record one measurement window: injection/ejection rates over the window
+// and the instantaneous mean per-VC buffer occupancy (flits per channel).
+void Simulator::sample_window() {
+  auto& met = SimMetrics::get();
+  const double node_cycles =
+      static_cast<double>(torus_.num_nodes()) * static_cast<double>(cycle_ - window_start_);
+  met.injection_rate.record(static_cast<double>(window_injected_) / node_cycles);
+  met.accepted_rate.record(static_cast<double>(window_ejected_) / node_cycles);
+  for (int vc = 0; vc < cfg_.vcs; ++vc) {
+    long flits = 0;
+    for (int c = 0; c < torus_.num_channels(); ++c) {
+      flits += static_cast<long>(buffers_[buffer_index(c, vc)].size());
+    }
+    occupancy_[vc]->record(static_cast<double>(flits) / torus_.num_channels());
+  }
+  window_start_ = cycle_;
+  window_injected_ = 0;
+  window_ejected_ = 0;
 }
 
 bool Simulator::network_empty() const {
@@ -38,7 +93,10 @@ void Simulator::step() {
       p.injected_at = cycle_;
       p.measured = measuring_;
       ++stats_.injected;
-      if (measuring_) ++measured_injected_;
+      if (measuring_) {
+        ++measured_injected_;
+        ++window_injected_;
+      }
       source_queue_[n].push_back(std::move(p));
     }
   }
@@ -60,10 +118,16 @@ void Simulator::step() {
       Packet p = std::move(buf.front());
       buf.pop_front();
       ++stats_.ejected;
-      if (measuring_) ++measured_ejected_;
+      if (measuring_) {
+        ++measured_ejected_;
+        ++window_ejected_;
+      }
       if (p.measured) {
-        latency_sum_ += static_cast<double>(cycle_ - p.injected_at);
+        const double lat = static_cast<double>(cycle_ - p.injected_at);
+        latency_sum_ += lat;
         ++latency_count_;
+        latency_hist_.record(lat);
+        SimMetrics::get().latency.record(lat);
       }
       eject_rr_[n] = (slot + 1) % slots;
       moved = true;
@@ -108,11 +172,20 @@ void Simulator::step() {
     }
   }
 
-  if (moved) last_movement_ = cycle_;
+  if (moved) {
+    // Movement resuming after a long quiet streak is a deadlock near-miss:
+    // the watchdog would have fired had the stall lasted twice as long.
+    if (cycle_ - last_movement_ > cfg_.deadlock_threshold / 2) {
+      SimMetrics::get().near_misses.add(1);
+    }
+    last_movement_ = cycle_;
+  }
   ++cycle_;
+  if (measuring_ && cycle_ - window_start_ >= cfg_.stats_window) sample_window();
 }
 
 SimStats Simulator::run() {
+  SimMetrics::get().runs.add(1);
   auto deadlock_check = [&] {
     if (!network_empty() && cycle_ - last_movement_ > cfg_.deadlock_threshold) {
       stats_.deadlocked = true;
@@ -127,10 +200,12 @@ SimStats Simulator::run() {
   }
   if (!stats_.deadlocked) {
     measuring_ = true;
+    window_start_ = cycle_;
     for (int i = 0; i < cfg_.measure_cycles; ++i) {
       step();
       if (deadlock_check()) break;
     }
+    if (cycle_ > window_start_) sample_window();  // flush the partial window
     measuring_ = false;
   }
   if (!stats_.deadlocked) {
@@ -146,6 +221,11 @@ SimStats Simulator::run() {
   stats_.offered_rate = static_cast<double>(measured_injected_) / node_cycles;
   stats_.accepted_rate = static_cast<double>(measured_ejected_) / node_cycles;
   stats_.avg_latency = latency_count_ > 0 ? latency_sum_ / latency_count_ : 0.0;
+  stats_.max_latency = latency_hist_.max();
+  stats_.p50_latency = latency_hist_.percentile(0.50);
+  stats_.p95_latency = latency_hist_.percentile(0.95);
+  stats_.p99_latency = latency_hist_.percentile(0.99);
+  if (stats_.deadlocked) SimMetrics::get().deadlocks.add(1);
   return stats_;
 }
 

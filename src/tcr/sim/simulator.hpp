@@ -14,6 +14,7 @@
 #include <deque>
 #include <vector>
 
+#include "tcr/obs/registry.hpp"
 #include "tcr/sim/network.hpp"
 #include "tcr/sim/traffic_gen.hpp"
 
@@ -26,6 +27,7 @@ struct SimConfig {
   int measure_cycles = 8000;
   int drain_cycles = 20000;       // post-measurement drain budget
   int deadlock_threshold = 2000;  // quiet cycles before declaring deadlock
+  int stats_window = 500;         // cycles per injection/ejection-rate sample
   std::uint64_t seed = 42;
 };
 
@@ -36,6 +38,10 @@ struct SimStats {
   double offered_rate = 0.0;   // injections per node per cycle (measurement window)
   double accepted_rate = 0.0;  // ejections per node per cycle (measurement window)
   double avg_latency = 0.0;    // cycles, injection to ejection
+  double max_latency = 0.0;    // worst measured packet latency, cycles
+  double p50_latency = 0.0;    // latency percentiles over measured packets
+  double p95_latency = 0.0;
+  double p99_latency = 0.0;
   long cycles_run = 0;
 };
 
@@ -59,6 +65,7 @@ class Simulator {
 
   int buffer_index(int channel, int vc) const { return channel * cfg_.vcs + vc; }
   void step();
+  void sample_window();
   bool network_empty() const;
 
   const Torus& torus_;
@@ -81,6 +88,14 @@ class Simulator {
   long latency_count_ = 0;
   long measured_ejected_ = 0;
   long measured_injected_ = 0;
+
+  // Per-run latency distribution (cycles); feeds the SimStats percentiles.
+  obs::Histogram latency_hist_{1.0, 1.2};
+  // Registry per-VC occupancy histograms, resolved once at construction.
+  std::vector<obs::Histogram*> occupancy_;
+  long window_start_ = 0;
+  long window_injected_ = 0;
+  long window_ejected_ = 0;
 };
 
 /// Convenience wrapper: simulate `routing` under uniform or permutation

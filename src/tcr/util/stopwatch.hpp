@@ -1,21 +1,48 @@
-// Wall-clock stopwatch for benchmark reporting.
+// Wall-clock + process-CPU stopwatch for benchmark reporting and the obs
+// timer spans. CPU time (user + system, via getrusage where available) lets
+// solver instrumentation distinguish compute from contention/blocking.
 #pragma once
 
 #include <chrono>
+#include <ctime>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 namespace tcr {
 
 class Stopwatch {
  public:
-  Stopwatch() : start_(clock::now()) {}
-  void reset() { start_ = clock::now(); }
+  Stopwatch() : start_(clock::now()), cpu_start_(cpu_now()) {}
+  void reset() {
+    start_ = clock::now();
+    cpu_start_ = cpu_now();
+  }
   double seconds() const {
     return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  /// Process CPU seconds (user + system) elapsed since construction/reset.
+  double cpu_seconds() const { return cpu_now() - cpu_start_; }
+
+  /// Current process CPU usage in seconds (user + system).
+  static double cpu_now() {
+#if defined(__unix__) || defined(__APPLE__)
+    rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) == 0) {
+      const auto tv_seconds = [](const timeval& tv) {
+        return static_cast<double>(tv.tv_sec) + 1e-6 * static_cast<double>(tv.tv_usec);
+      };
+      return tv_seconds(ru.ru_utime) + tv_seconds(ru.ru_stime);
+    }
+#endif
+    return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
   }
 
  private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
+  double cpu_start_;
 };
 
 }  // namespace tcr

@@ -10,6 +10,7 @@
 #include "tcr/lin/dense_matrix.hpp"
 #include "tcr/lp/dense_simplex.hpp"
 #include "tcr/lp/simplex.hpp"
+#include "tcr/obs/registry.hpp"
 #include "tcr/util/rng.hpp"
 
 namespace tcr::lp {
@@ -277,6 +278,35 @@ TEST(RevisedSimplex, EmptyRowsAndColumns) {
   const auto sol = solve(m);
   ASSERT_EQ(sol.status, Status::Optimal);
   EXPECT_NEAR(sol.objective, 2.0, 1e-8);
+}
+
+TEST(RevisedSimplex, PopulatesObsMetrics) {
+  auto& reg = obs::Registry::instance();
+  auto& solves = reg.counter("lp.simplex.solves");
+  auto& iters = reg.counter("lp.simplex.iterations");
+  auto& refactors = reg.counter("lp.simplex.refactorizations");
+  auto& total = reg.timer("lp.simplex.time.total");
+  auto& pricing = reg.timer("lp.simplex.time.pricing");
+  const auto solves0 = solves.value();
+  const auto iters0 = iters.value();
+  const auto refactors0 = refactors.value();
+  const auto spans0 = total.count();
+  const auto pricing0 = pricing.count();
+
+  // A non-trivial LP solved with fine-grained timing on, the way a --json
+  // bench sink runs the solver.
+  reg.set_timing_enabled(true);
+  Rng rng(4242);
+  const Model m = random_model(rng, 12, 18);
+  const auto sol = solve(m);
+  reg.set_timing_enabled(false);
+
+  EXPECT_GE(solves.value(), solves0 + 1);
+  EXPECT_GT(iters.value(), iters0);
+  EXPECT_GT(refactors.value(), refactors0);
+  EXPECT_GT(total.count(), spans0);
+  EXPECT_GT(pricing.count(), pricing0);
+  if (sol.status != Status::Optimal) EXPECT_FALSE(sol.note.empty());
 }
 
 }  // namespace

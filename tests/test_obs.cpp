@@ -1,0 +1,241 @@
+// tcr::obs unit tests: registry registration/reset semantics, histogram
+// bucket geometry and percentile math, and the JSON-lines serialization
+// (parseable, stable key order, round-trip doubles).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tcr/obs/json.hpp"
+#include "tcr/obs/registry.hpp"
+
+namespace tcr::obs {
+namespace {
+
+// The registry is process-wide and shared with every other test in this
+// binary, so each test uses its own metric names.
+
+TEST(Registry, SameNameReturnsSameInstance) {
+  auto& a = Registry::instance().counter("test.reg.counter");
+  auto& b = Registry::instance().counter("test.reg.counter");
+  EXPECT_EQ(&a, &b);
+  auto& g1 = Registry::instance().gauge("test.reg.gauge");
+  auto& g2 = Registry::instance().gauge("test.reg.gauge");
+  EXPECT_EQ(&g1, &g2);
+  auto& h1 = Registry::instance().histogram("test.reg.hist", 1.0, 2.0);
+  auto& h2 = Registry::instance().histogram("test.reg.hist", 5.0, 3.0);  // first geometry wins
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_DOUBLE_EQ(h2.least(), 1.0);
+  EXPECT_DOUBLE_EQ(h2.growth(), 2.0);
+}
+
+TEST(Registry, ResetZeroesValuesButKeepsRegistrations) {
+  auto& c = Registry::instance().counter("test.reset.counter");
+  auto& g = Registry::instance().gauge("test.reset.gauge");
+  auto& t = Registry::instance().timer("test.reset.timer");
+  auto& h = Registry::instance().histogram("test.reset.hist");
+  c.add(7);
+  g.set(2.5);
+  t.add(1000, 500);
+  h.record(3.0);
+  Registry::instance().reset();
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(t.count(), 0);
+  EXPECT_EQ(h.count(), 0);
+  // References stay live after reset; updates keep working.
+  c.add(2);
+  EXPECT_EQ(c.value(), 2);
+  const Snapshot snap = Registry::instance().snapshot();
+  EXPECT_TRUE(snap.counters.count("test.reset.counter"));
+  EXPECT_TRUE(snap.gauges.count("test.reset.gauge"));
+  EXPECT_TRUE(snap.timers.count("test.reset.timer"));
+  EXPECT_TRUE(snap.histograms.count("test.reset.hist"));
+}
+
+TEST(Registry, CountersAreThreadSafe) {
+  auto& c = Registry::instance().counter("test.threads.counter");
+  c.reset();
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 4; ++i) {
+    workers.emplace_back([&c] {
+      for (int j = 0; j < 10000; ++j) c.add(1);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), 40000);
+}
+
+TEST(Histogram, BucketBoundaries) {
+  Histogram h(1.0, 2.0);
+  // Bucket 0 catches [0, least) plus anything unrepresentable.
+  EXPECT_EQ(h.bucket_index(0.0), 0);
+  EXPECT_EQ(h.bucket_index(0.999), 0);
+  EXPECT_EQ(h.bucket_index(-3.0), 0);
+  EXPECT_EQ(h.bucket_index(std::numeric_limits<double>::quiet_NaN()), 0);
+  // Bucket i >= 1 covers [least * growth^(i-1), least * growth^i).
+  EXPECT_EQ(h.bucket_index(1.0), 1);
+  EXPECT_EQ(h.bucket_index(1.5), 1);
+  EXPECT_EQ(h.bucket_index(2.5), 2);
+  EXPECT_EQ(h.bucket_index(5.0), 3);
+  EXPECT_DOUBLE_EQ(h.bucket_lower(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.bucket_upper(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lower(3), 4.0);
+  // Values beyond the last bucket clamp instead of overflowing.
+  EXPECT_EQ(h.bucket_index(1e300), Histogram::kNumBuckets - 1);
+  // Recording lands in the computed bucket.
+  h.record(1.5);
+  h.record(2.5);
+  h.record(2.6);
+  EXPECT_EQ(h.bucket_count(1), 1);
+  EXPECT_EQ(h.bucket_count(2), 2);
+}
+
+TEST(Histogram, SumMeanMinMaxExact) {
+  Histogram h(1.0, 2.0);
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  for (const double v : {3.0, 9.0, 6.0}) h.record(v);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.sum(), 18.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 6.0);
+  EXPECT_DOUBLE_EQ(h.min(), 3.0);
+  EXPECT_DOUBLE_EQ(h.max(), 9.0);
+}
+
+TEST(Histogram, PercentileSingleBucketClampsToObservedValue) {
+  Histogram h(1.0, 2.0);
+  for (int i = 0; i < 100; ++i) h.record(1.5);
+  // All mass in one bucket: interpolation is clamped to [min, max] = {1.5}.
+  EXPECT_DOUBLE_EQ(h.percentile(0.01), 1.5);
+  EXPECT_DOUBLE_EQ(h.percentile(0.50), 1.5);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 1.5);
+}
+
+TEST(Histogram, PercentilesMonotoneAndWithinBucketError) {
+  Histogram h(1.0, 1.25);
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  const double p50 = h.percentile(0.50);
+  const double p95 = h.percentile(0.95);
+  const double p99 = h.percentile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, h.max());
+  EXPECT_GE(p50, h.min());
+  // Relative error of a log-bucketed percentile is bounded by the growth.
+  EXPECT_NEAR(p50, 500.0, 500.0 * 0.25);
+  EXPECT_NEAR(p95, 950.0, 950.0 * 0.25);
+  EXPECT_NEAR(p99, 990.0, 990.0 * 0.25);
+}
+
+TEST(ScopedTimerTest, EnabledSpansAccumulate) {
+  Timer t;
+  {
+    ScopedTimer span(t, /*enabled=*/true);
+  }
+  EXPECT_EQ(t.count(), 1);
+  EXPECT_GE(t.wall_seconds(), 0.0);
+  // stop() is idempotent: a second stop records nothing.
+  ScopedTimer span(t, /*enabled=*/true);
+  span.stop();
+  span.stop();
+  EXPECT_EQ(t.count(), 2);
+}
+
+TEST(ScopedTimerTest, DisabledSpansRecordNothing) {
+  Timer t;
+  {
+    ScopedTimer span(t, /*enabled=*/false);
+  }
+  EXPECT_EQ(t.count(), 0);
+  EXPECT_DOUBLE_EQ(t.wall_seconds(), 0.0);
+}
+
+// ---- JSON ---------------------------------------------------------------
+
+TEST(JsonTest, ScalarsAndEscapes) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7L).dump(), "-7");
+  EXPECT_EQ(Json("plain").dump(), "\"plain\"");
+  EXPECT_EQ(Json("a\"b\\c\nd\te").dump(), "\"a\\\"b\\\\c\\nd\\te\"");
+  EXPECT_EQ(Json(std::string(1, '\x01')).dump(), "\"\\u0001\"");
+}
+
+TEST(JsonTest, DoublesRoundTripAndNonFiniteIsNull) {
+  EXPECT_EQ(Json(0.5).dump(), "0.5");
+  EXPECT_EQ(Json(0.0).dump(), "0");
+  for (const double v : {0.1, 1.0 / 3.0, 6.02e23, 1e-300}) {
+    const std::string s = Json(v).dump();
+    EXPECT_DOUBLE_EQ(std::stod(s), v) << s;
+  }
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(JsonTest, ObjectsKeepInsertionOrder) {
+  auto obj = Json::object();
+  obj.set("zebra", 1).set("alpha", 2).set("mid", Json::array());
+  EXPECT_EQ(obj.dump(), "{\"zebra\":1,\"alpha\":2,\"mid\":[]}");
+  auto arr = Json::array();
+  arr.push_back(1).push_back("two").push_back(Json());
+  EXPECT_EQ(arr.dump(), "[1,\"two\",null]");
+}
+
+TEST(JsonTest, SnapshotSerializationIsStable) {
+  Registry::instance().counter("test.snapjson.b").add(2);
+  Registry::instance().counter("test.snapjson.a").add(1);
+  Registry::instance().gauge("test.snapjson.g").set(1.5);
+  Registry::instance().histogram("test.snapjson.h").record(0.5);
+  const std::string once = snapshot_json().dump();
+  const std::string twice = snapshot_json().dump();
+  EXPECT_EQ(once, twice);  // stable keys and formatting
+  // Snapshot maps are sorted, so a's entry precedes b's.
+  const auto pos_a = once.find("\"test.snapjson.a\"");
+  const auto pos_b = once.find("\"test.snapjson.b\"");
+  ASSERT_NE(pos_a, std::string::npos);
+  ASSERT_NE(pos_b, std::string::npos);
+  EXPECT_LT(pos_a, pos_b);
+  // Top-level sections are always present.
+  for (const char* key : {"\"counters\"", "\"gauges\"", "\"timers\"", "\"histograms\""}) {
+    EXPECT_NE(once.find(key), std::string::npos) << key;
+  }
+  // Histogram entries expose the full summary.
+  for (const char* key : {"\"count\"", "\"sum\"", "\"min\"", "\"max\"", "\"p50\"", "\"p95\"",
+                          "\"p99\""}) {
+    EXPECT_NE(once.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(EventSinkTest, WritesOneParseableRecordPerLine) {
+  std::ostringstream os;
+  EventSink sink(os);
+  ASSERT_TRUE(sink.ok());
+  auto rec = Json::object();
+  rec.set("bench", "unit").set("value", 1.25);
+  sink.write(rec);
+  sink.write(rec);
+  EXPECT_EQ(sink.records_written(), 2);
+
+  std::istringstream is(os.str());
+  std::string line;
+  int lines = 0;
+  while (std::getline(is, line)) {
+    ++lines;
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+  }
+  EXPECT_EQ(lines, 2);
+}
+
+}  // namespace
+}  // namespace tcr::obs

@@ -104,6 +104,22 @@ TEST(Simulator, LowLoadLatencyNearHopCount) {
   EXPECT_LT(stats.avg_latency, 4.5);
 }
 
+TEST(Simulator, LatencyPercentilesAreOrderedAndBracketMean) {
+  const Torus t(4);
+  const TorusRouting dor = make_dor(t);
+  SimConfig cfg;
+  cfg.vcs = 2;
+  cfg.warmup_cycles = 200;
+  cfg.measure_cycles = 3000;
+  const auto stats = simulate(dor, 0.1, {}, cfg);
+  ASSERT_FALSE(stats.deadlocked);
+  EXPECT_GE(stats.p50_latency, 1.0);  // a hop takes at least one cycle
+  EXPECT_LE(stats.p50_latency, stats.p95_latency);
+  EXPECT_LE(stats.p95_latency, stats.p99_latency);
+  EXPECT_LE(stats.p99_latency, stats.max_latency);
+  EXPECT_LE(stats.avg_latency, stats.max_latency);
+}
+
 class DeadlockFreedom : public ::testing::TestWithParam<double> {};
 INSTANTIATE_TEST_SUITE_P(Loads, DeadlockFreedom, ::testing::Values(0.3, 0.6, 0.95));
 
