@@ -53,7 +53,8 @@ int main(int argc, char** argv) {
             .set("iterations", res.iterations)
             .set("wall_s", sw.seconds())
             .set("status", lp::to_string(res.status))
-            .set("objective", res.objective);
+            .set("objective", res.objective)
+            .set("certificate", bench::certificate_json(res.certificate));
         jout.point(std::move(fields));
       }
     }

@@ -95,4 +95,22 @@ inline std::string status_line(lp::Status status, const std::string& note) {
   return s;
 }
 
+/// JSON view of an lp::Certificate for a point record; every LP-backed bench
+/// attaches this so downstream tooling can assert that the published numbers
+/// came from independently certified solves.
+inline obs::Json certificate_json(const lp::Certificate& cert) {
+  auto j = obs::Json::object();
+  j.set("checked", cert.checked).set("pass", cert.pass);
+  if (cert.checked) {
+    j.set("primal_residual", cert.primal_residual)
+        .set("bound_violation", cert.bound_violation)
+        .set("dual_violation", cert.dual_violation)
+        .set("complementarity", cert.complementarity)
+        .set("duality_gap", cert.duality_gap)
+        .set("worst", cert.worst());
+    if (!cert.pass) j.set("reason", cert.reason);
+  }
+  return j;
+}
+
 }  // namespace tcr::bench

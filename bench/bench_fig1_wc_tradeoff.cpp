@@ -36,7 +36,8 @@ int main(int argc, char** argv) {
         .set("k", k)
         .set("locality", pt.locality)
         .set("capacity_fraction", pt.capacity_fraction)
-        .set("status", lp::to_string(pt.status));
+        .set("status", lp::to_string(pt.status))
+        .set("certificate", bench::certificate_json(pt.certificate));
     jout.point(std::move(fields));
   }
   std::cout << "curve solved in " << sw.seconds() << " s ("

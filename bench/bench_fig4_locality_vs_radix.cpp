@@ -30,8 +30,10 @@ int main(int argc, char** argv) {
     const double ival = make_ival(torus).normalized_locality();
 
     double two_turn = -1.0, two_turn_wc = -1.0;
+    lp::Certificate two_turn_cert, optimal_cert;
     if (!cli.has("skip-2turn")) {
       const auto res = design_two_turn(torus);
+      two_turn_cert = res.certificate;
       if (res.status == lp::Status::Optimal) {
         two_turn = res.routing.normalized_locality();
         two_turn_wc = worst_case_capacity_fraction(res.routing);
@@ -43,6 +45,7 @@ int main(int argc, char** argv) {
     double optimal = -1.0;
     if (!cli.has("skip-optimal")) {
       const auto res = design_worst_case_optimal(torus);
+      optimal_cert = res.certificate;
       if (res.status == lp::Status::Optimal) {
         optimal = res.locality_norm;
       } else {
@@ -58,7 +61,9 @@ int main(int argc, char** argv) {
         .set("two_turn_locality", two_turn)
         .set("optimal_locality", optimal)
         .set("two_turn_wc_capacity_fraction", two_turn_wc)
-        .set("wall_s", sw.seconds());
+        .set("wall_s", sw.seconds())
+        .set("two_turn_certificate", bench::certificate_json(two_turn_cert))
+        .set("optimal_certificate", bench::certificate_json(optimal_cert));
     jout.point(std::move(fields));
     std::cout << "k=" << k << " done\n";
   }

@@ -64,6 +64,15 @@ int main(int argc, char** argv) {
   if (two_turn.status != lp::Status::Optimal) {
     std::cout << "2TURN design: " << bench::status_line(two_turn.status, two_turn.note) << "\n";
   }
+  {
+    auto fields = obs::Json::object();
+    fields.set("series", "design_solve")
+        .set("k", k)
+        .set("algorithm", "2TURN")
+        .set("status", lp::to_string(two_turn.status))
+        .set("certificate", bench::certificate_json(two_turn.certificate));
+    jout.point(std::move(fields));
+  }
   std::vector<std::pair<std::string, const TorusRouting*>> families = {{"DOR<->IVAL", &ival}};
   if (two_turn.status == lp::Status::Optimal) families.push_back({"DOR<->2TURN", &two_turn.routing});
 

@@ -47,7 +47,8 @@ int main(int argc, char** argv) {
           .set("k", k)
           .set("locality", pt.locality)
           .set("capacity_fraction", pt.capacity_fraction)
-          .set("status", lp::to_string(pt.status));
+          .set("status", lp::to_string(pt.status))
+          .set("certificate", bench::certificate_json(pt.certificate));
       jout.point(std::move(fields));
     }
     std::cout << "curve solved in " << sw.seconds() << " s\n\n";
@@ -63,7 +64,7 @@ int main(int argc, char** argv) {
   auto algorithms = bench::table1_algorithms(torus);
   if (!cli.has("skip-design")) {
     auto design_point = [&](const std::string& name, lp::Status status,
-                            const std::string& note) {
+                            const std::string& note, const lp::Certificate& cert) {
       if (status != lp::Status::Optimal) {
         std::cout << name << " design: " << bench::status_line(status, note) << "\n";
       }
@@ -71,20 +72,21 @@ int main(int argc, char** argv) {
       fields.set("series", "design_solve")
           .set("k", k)
           .set("algorithm", name)
-          .set("status", lp::to_string(status));
+          .set("status", lp::to_string(status))
+          .set("certificate", bench::certificate_json(cert));
       jout.point(std::move(fields));
     };
     auto two_turn = design_two_turn(torus);
-    design_point("2TURN", two_turn.status, two_turn.note);
+    design_point("2TURN", two_turn.status, two_turn.note, two_turn.certificate);
     if (two_turn.status == lp::Status::Optimal) algorithms.push_back(two_turn.routing);
     auto two_turn_a = design_two_turn_avg(torus, design_samples);
-    design_point("2TURNA", two_turn_a.status, two_turn_a.note);
+    design_point("2TURNA", two_turn_a.status, two_turn_a.note, two_turn_a.certificate);
     if (two_turn_a.status == lp::Status::Optimal) algorithms.push_back(two_turn_a.routing);
     auto avg_opt = design_average_case_optimal(torus, design_samples);
-    design_point("AVG-OPT", avg_opt.status, avg_opt.note);
+    design_point("AVG-OPT", avg_opt.status, avg_opt.note, avg_opt.certificate);
     if (avg_opt.status == lp::Status::Optimal) algorithms.push_back(avg_opt.routing);
     auto min_avg = design_minimal_avg(torus, design_samples);
-    design_point("MIN-A", min_avg.status, min_avg.note);
+    design_point("MIN-A", min_avg.status, min_avg.note, min_avg.certificate);
     if (min_avg.status == lp::Status::Optimal) algorithms.push_back(min_avg.routing);
   }
 

@@ -46,7 +46,8 @@ int main(int argc, char** argv) {
           .set("k", k)
           .set("algorithm", "2TURN")
           .set("status", lp::to_string(two_turn.status))
-          .set("wall_s", sw.seconds());
+          .set("wall_s", sw.seconds())
+          .set("certificate", bench::certificate_json(two_turn.certificate));
       jout.point(std::move(fields));
     }
     if (two_turn.status == lp::Status::Optimal) algorithms.push_back(two_turn.routing);
@@ -64,7 +65,8 @@ int main(int argc, char** argv) {
           .set("k", k)
           .set("algorithm", "2TURNA")
           .set("status", lp::to_string(two_turn_a.status))
-          .set("wall_s", sw.seconds());
+          .set("wall_s", sw.seconds())
+          .set("certificate", bench::certificate_json(two_turn_a.certificate));
       jout.point(std::move(fields));
     }
     if (two_turn_a.status == lp::Status::Optimal) algorithms.push_back(two_turn_a.routing);

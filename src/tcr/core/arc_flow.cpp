@@ -273,6 +273,7 @@ DesignResult SymmetricArcDesign::solve(const lp::SimplexOptions& opts) {
   res.status = sol.status;
   res.iterations = sol.iterations;
   res.note = sol.note;
+  res.certificate = sol.certificate;
   if (sol.status != lp::Status::Optimal) return res;
   res.objective = sol.objective;
   met.last_objective.set(sol.objective);
@@ -418,6 +419,7 @@ GeneralDesignResult general_capacity_design(const Digraph& g, const lp::SimplexO
   const lp::Solution sol = lp::solve(model, opts);
   GeneralDesignResult res;
   res.status = sol.status;
+  res.certificate = sol.certificate;
   if (sol.status != lp::Status::Optimal) return res;
   res.objective = sol.objective;
   extract_general(vars, sol, res);
@@ -450,6 +452,7 @@ GeneralDesignResult general_worst_case_design(const Digraph& g, const lp::Simple
   const lp::Solution sol = lp::solve(model, opts);
   GeneralDesignResult res;
   res.status = sol.status;
+  res.certificate = sol.certificate;
   if (sol.status != lp::Status::Optimal) return res;
   res.objective = sol.objective;
   extract_general(vars, sol, res);

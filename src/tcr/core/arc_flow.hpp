@@ -73,6 +73,7 @@ struct DesignResult {
   double avg_hops = 0.0;    // H_avg of the designed routing, in hops
   long iterations = 0;
   std::string note;         // solver stop diagnosis when not Optimal
+  lp::Certificate certificate;  // independent KKT check of the design LP
 };
 
 class SymmetricArcDesign {
@@ -129,6 +130,7 @@ struct GeneralDesignResult {
   double objective = 0.0;
   /// flows[pair(s,d)][c]; pair index = s * N + d.
   std::vector<std::vector<double>> flows;
+  lp::Certificate certificate;  // independent KKT check of the design LP
 };
 
 /// Capacity problem (6) on an arbitrary digraph: minimize the maximum

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "tcr/graph/symmetry.hpp"
+#include "tcr/lp/certify.hpp"
 #include "tcr/matching/hungarian.hpp"
 #include "tcr/traffic/patterns.hpp"
 #include "tcr/util/check.hpp"
@@ -33,10 +34,12 @@ OptimalDesign lexicographic(const Torus& torus, DesignObjective objective,
                     .avg_hops = 0.0,
                     .locality_norm = 0.0,
                     .note = {},
+                    .certificate = {},
                     .routing = TorusRouting(torus, name)};
   {
     SymmetricArcDesign stage1(torus, cfg);
     const DesignResult r1 = stage1.solve(opts);
+    out.certificate = r1.certificate;
     if (r1.status != lp::Status::Optimal) {
       out.status = r1.status;
       out.note = "stage-1 (throughput) LP: " + r1.note;
@@ -56,6 +59,7 @@ OptimalDesign lexicographic(const Torus& torus, DesignObjective objective,
   SymmetricArcDesign stage2(torus, cfg2);
   const DesignResult r2 = stage2.solve(opts);
   out.status = r2.status;
+  out.certificate = lp::worse_certificate(out.certificate, r2.certificate);
   if (r2.status != lp::Status::Optimal) {
     out.note = "stage-2 (locality) LP: " + r2.note;
     return out;
@@ -105,6 +109,9 @@ CuttingPlaneResult design_worst_case_cutting_plane(const Torus& torus,
     cfg.cut_permutations = out.cuts;
     SymmetricArcDesign design(torus, cfg);
     const DesignResult res = design.solve(opts);
+    out.certificate = out.rounds == 1
+                          ? res.certificate
+                          : lp::worse_certificate(out.certificate, res.certificate);
     if (res.status != lp::Status::Optimal) {
       out.status = res.status;
       return out;

@@ -17,6 +17,8 @@ struct OptimalDesign {
   double avg_hops = 0.0;        // best H_avg (hops) at that optimum
   double locality_norm = 0.0;   // avg_hops / mean minimal distance
   std::string note;             // solver stop diagnosis when not Optimal
+  /// Worse of the two lexicographic stages' certificates (lp::certify).
+  lp::Certificate certificate;
   TorusRouting routing;
 };
 
@@ -55,6 +57,8 @@ struct CuttingPlaneResult {
   int rounds = 0;
   long total_iterations = 0;
   std::vector<std::vector<int>> cuts;  // permutations generated
+  /// Worst certificate across the rounds' master solves (lp::certify).
+  lp::Certificate certificate;
 };
 
 CuttingPlaneResult design_worst_case_cutting_plane(const Torus& torus,

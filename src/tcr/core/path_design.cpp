@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "tcr/graph/symmetry.hpp"
+#include "tcr/lp/certify.hpp"
 #include "tcr/routing/two_turn.hpp"
 #include "tcr/util/check.hpp"
 
@@ -178,11 +179,13 @@ PathDesignResult design_over_paths(const Torus& torus, const std::string& name,
   PathDesignResult out{.status = lp::Status::Numerical,
                        .objective = 0.0,
                        .note = {},
+                       .certificate = {},
                        .routing = TorusRouting(torus, name)};
 
   // Stage 1: optimal throughput over the family.
   PathLP stage1(torus, family, config, config.objective, -1.0);
   const lp::Solution s1 = stage1.solve(opts);
+  out.certificate = s1.certificate;
   if (s1.status != lp::Status::Optimal) {
     out.status = s1.status;
     out.note = "stage-1 (throughput) path LP: " + s1.note;
@@ -200,6 +203,7 @@ PathDesignResult design_over_paths(const Torus& torus, const std::string& name,
   PathLP stage2(torus, family, config, DesignObjective::Locality, cap);
   const lp::Solution s2 = stage2.solve(opts);
   out.status = s2.status;
+  out.certificate = lp::worse_certificate(out.certificate, s2.certificate);
   if (s2.status != lp::Status::Optimal) {
     out.note = "stage-2 (locality) path LP: " + s2.note;
     return out;

@@ -27,6 +27,8 @@ struct PathDesignResult {
   lp::Status status = lp::Status::Numerical;
   double objective = 0.0;  // optimal gamma of the configured objective
   std::string note;        // solver stop diagnosis when not Optimal
+  /// Worse of the two lexicographic stages' certificates (lp::certify).
+  lp::Certificate certificate;
   TorusRouting routing;
 };
 

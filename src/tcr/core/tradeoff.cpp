@@ -25,6 +25,7 @@ std::vector<TradeoffPoint> sweep(const Torus& torus, DesignObjective objective,
     out[i].locality = localities[i];
     out[i].status = res.status;
     out[i].note = res.note;
+    out[i].certificate = res.certificate;
     if (res.status == lp::Status::Optimal && res.objective > 0.0) {
       out[i].capacity_fraction = ideal / res.objective;
     }

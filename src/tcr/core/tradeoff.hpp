@@ -18,6 +18,7 @@ struct TradeoffPoint {
   double capacity_fraction = 0.0;  // optimal Theta / capacity at that locality
   lp::Status status = lp::Status::Numerical;
   std::string note;                // solver stop diagnosis when not Optimal
+  lp::Certificate certificate;     // independent KKT check of the point's LP
 };
 
 /// Worst-case curve (Figure 1): for each normalized locality L, the best

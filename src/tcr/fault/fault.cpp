@@ -1,0 +1,85 @@
+#include "tcr/fault/fault.hpp"
+
+#include <cmath>
+
+#include "tcr/util/check.hpp"
+#include "tcr/util/rng.hpp"
+
+namespace tcr::fault {
+
+namespace {
+
+// Step a finite value n ULPs (n may be negative). Zero stays zero so the
+// sparsity pattern of the model is preserved.
+double step_ulps(double v, long n) {
+  if (v == 0.0 || !std::isfinite(v)) return v;
+  const double dir = n >= 0 ? lp::kInf : -lp::kInf;
+  for (long k = std::labs(n); k > 0; --k) v = std::nextafter(v, dir);
+  return v;
+}
+
+std::atomic<SimplexHooks*> g_simplex_hooks{nullptr};
+
+}  // namespace
+
+lp::Model perturb_model_ulp(const lp::Model& model, std::uint64_t seed, int max_ulps) {
+  TCR_REQUIRE(max_ulps >= 0, "max_ulps must be non-negative");
+  Rng rng(seed);
+  auto jitter = [&](double v) {
+    if (max_ulps == 0) return v;
+    const long n =
+        static_cast<long>(rng.below(static_cast<std::uint64_t>(2 * max_ulps + 1))) - max_ulps;
+    return step_ulps(v, n);
+  };
+
+  lp::Model out;
+  out.set_sense(model.sense());
+  for (int j = 0; j < model.num_cols(); ++j) {
+    // Bounds are copied exactly: perturbing them could invert lo <= up or
+    // unfix a fixed column, which changes the model structurally.
+    out.add_col(model.lower(j), model.upper(j), jitter(model.cost(j)));
+  }
+  for (int i = 0; i < model.num_rows(); ++i) {
+    out.add_row(model.row_type(i), jitter(model.rhs(i)));
+  }
+  for (const auto& t : model.triplets()) {
+    out.add_term(t.row, t.col, jitter(t.value));
+  }
+  return out;
+}
+
+SimplexHooks* simplex_hooks() noexcept {
+  return g_simplex_hooks.load(std::memory_order_acquire);
+}
+
+void install_simplex_hooks(SimplexHooks* hooks) noexcept {
+  g_simplex_hooks.store(hooks, std::memory_order_release);
+}
+
+SimFaultPlan random_sim_faults(int num_channels, int vcs, std::uint64_t seed, int link_faults,
+                               int credit_stalls, long start, long spread, long duration) {
+  TCR_REQUIRE(num_channels > 0, "need at least one channel");
+  TCR_REQUIRE(spread > 0 && duration > 0, "fault windows must be non-empty");
+  Rng rng(seed);
+  SimFaultPlan plan;
+  plan.links.reserve(static_cast<std::size_t>(link_faults));
+  for (int k = 0; k < link_faults; ++k) {
+    LinkFault f;
+    f.channel = static_cast<int>(rng.below(static_cast<std::uint64_t>(num_channels)));
+    f.from_cycle = start + static_cast<long>(rng.below(static_cast<std::uint64_t>(spread)));
+    f.until_cycle = f.from_cycle + duration;
+    plan.links.push_back(f);
+  }
+  plan.stalls.reserve(static_cast<std::size_t>(credit_stalls));
+  for (int k = 0; k < credit_stalls; ++k) {
+    CreditStall f;
+    f.channel = static_cast<int>(rng.below(static_cast<std::uint64_t>(num_channels)));
+    f.vc = vcs > 0 ? static_cast<int>(rng.below(static_cast<std::uint64_t>(vcs))) : -1;
+    f.from_cycle = start + static_cast<long>(rng.below(static_cast<std::uint64_t>(spread)));
+    f.until_cycle = f.from_cycle + duration;
+    plan.stalls.push_back(f);
+  }
+  return plan;
+}
+
+}  // namespace tcr::fault

@@ -19,7 +19,10 @@ const char* to_string(Status s) {
 }
 
 int Model::add_col(double lo, double up, double cost) {
+  TCR_REQUIRE(!std::isnan(lo) && lo < kInf, "lower bound must not be NaN or +inf");
+  TCR_REQUIRE(!std::isnan(up) && up > -kInf, "upper bound must not be NaN or -inf");
   TCR_REQUIRE(lo <= up, "variable bounds must satisfy lo <= up");
+  TCR_REQUIRE(std::isfinite(cost), "objective coefficient must be finite");
   lo_.push_back(lo);
   up_.push_back(up);
   cost_.push_back(cost);
@@ -36,6 +39,7 @@ int Model::add_row(RowType type, double rhs) {
 void Model::add_term(int row, int col, double coeff) {
   TCR_REQUIRE(row >= 0 && row < num_rows(), "row index out of range");
   TCR_REQUIRE(col >= 0 && col < num_cols(), "col index out of range");
+  TCR_REQUIRE(std::isfinite(coeff), "constraint coefficient must be finite");
   if (coeff == 0.0) return;
   triplets_.push_back({row, col, coeff});
 }
@@ -48,6 +52,7 @@ int Model::add_row(RowType type, double rhs, const std::vector<std::pair<int, do
 
 void Model::set_cost(int col, double cost) {
   TCR_REQUIRE(col >= 0 && col < num_cols(), "col index out of range");
+  TCR_REQUIRE(std::isfinite(cost), "objective coefficient must be finite");
   cost_[col] = cost;
 }
 

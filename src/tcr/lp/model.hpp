@@ -32,17 +32,49 @@ enum class Status {
 
 const char* to_string(Status s);
 
+/// Independent optimality certificate for a Solution, produced by
+/// lp::certify() (lp/certify.hpp) from the Model and the solution values
+/// alone — never from the solver's factorization. All residuals are
+/// *relative* (scaled by the magnitude of the data they involve), so a
+/// passing certificate means the KKT conditions hold to the stated
+/// tolerances regardless of problem scaling. A default-constructed
+/// Certificate reports checked == false (nothing was verified).
+struct Certificate {
+  bool checked = false;  // certify() ran on this solution
+  bool pass = false;     // every residual below its tolerance
+  double primal_residual = 0.0;     // max relative row violation
+  double bound_violation = 0.0;     // max relative variable-bound violation
+  double objective_residual = 0.0;  // reported objective vs c'x
+  double dual_residual = 0.0;       // reported reduced costs vs c - A'y
+  double dual_violation = 0.0;      // reduced-cost sign violations at x
+  double row_dual_violation = 0.0;  // row-dual sign violations (LE/GE rows)
+  double complementarity = 0.0;     // max relative slackness product
+  double duality_gap = 0.0;         // relative primal-dual objective gap
+  std::string reason;  // first/worst failed check; empty when pass
+
+  bool ok() const { return checked && pass; }
+  /// Largest residual measure (the number a failing solve is judged by).
+  double worst() const;
+  /// One-line human-readable summary for notes and logs.
+  std::string summary() const;
+};
+
 struct Solution {
   Status status = Status::Numerical;
   double objective = 0.0;
   std::vector<double> x;        // structural variable values
   std::vector<double> duals;    // one per row (simplex multipliers y)
   std::vector<double> reduced;  // reduced costs of structural variables
-  long iterations = 0;          // total simplex iterations (both phases)
+  long iterations = 0;          // simplex iterations of the returned attempt
   long phase1_iterations = 0;
   /// Human-readable diagnosis of why a non-optimal solve stopped (e.g.
-  /// "iteration limit after 312 degenerate pivots"); empty when Optimal.
+  /// "iteration limit after 312 degenerate pivots"). Empty when Optimal,
+  /// unless the recovery ladder ran out with a failing certificate — then it
+  /// records every stage's outcome.
   std::string note;
+  /// Filled by lp::solve() when SimplexOptions::certify is on and the solve
+  /// reached Status::Optimal; default (checked == false) otherwise.
+  Certificate certificate;
 
   bool optimal() const { return status == Status::Optimal; }
 };

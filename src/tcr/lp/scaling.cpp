@@ -1,0 +1,85 @@
+#include "tcr/lp/scaling.hpp"
+
+#include <cmath>
+
+#include "tcr/util/check.hpp"
+
+namespace tcr::lp {
+
+namespace {
+
+// Nearest power of two to 1/sqrt(min * max): exact to apply and to undo.
+double pow2_factor(double min_mag, double max_mag) {
+  if (min_mag <= 0.0 || !std::isfinite(max_mag) || max_mag <= 0.0) return 1.0;
+  const double target = 1.0 / std::sqrt(min_mag * max_mag);
+  const int e = static_cast<int>(std::lround(std::log2(target)));
+  return std::ldexp(1.0, e);
+}
+
+}  // namespace
+
+Scaling geometric_mean_scaling(const Model& model, int passes) {
+  const int m = model.num_rows(), n = model.num_cols();
+  Scaling s;
+  s.row.assign(static_cast<std::size_t>(m), 1.0);
+  s.col.assign(static_cast<std::size_t>(n), 1.0);
+
+  std::vector<double> mn, mx;
+  for (int pass = 0; pass < passes; ++pass) {
+    // Row factors from the currently scaled magnitudes.
+    mn.assign(static_cast<std::size_t>(m), kInf);
+    mx.assign(static_cast<std::size_t>(m), 0.0);
+    for (const auto& t : model.triplets()) {
+      const double v = std::abs(t.value) * s.row[t.row] * s.col[t.col];
+      if (v == 0.0) continue;
+      mn[t.row] = std::min(mn[t.row], v);
+      mx[t.row] = std::max(mx[t.row], v);
+    }
+    for (int i = 0; i < m; ++i) s.row[i] *= pow2_factor(mn[i], mx[i]);
+
+    // Column factors likewise. x_j scales by col[j]; to keep A'x' bounded
+    // the matrix column is *multiplied* by col[j], so equilibrate the
+    // product |a_ij| * row_i * col_j the same way.
+    mn.assign(static_cast<std::size_t>(n), kInf);
+    mx.assign(static_cast<std::size_t>(n), 0.0);
+    for (const auto& t : model.triplets()) {
+      const double v = std::abs(t.value) * s.row[t.row] * s.col[t.col];
+      if (v == 0.0) continue;
+      mn[t.col] = std::min(mn[t.col], v);
+      mx[t.col] = std::max(mx[t.col], v);
+    }
+    for (int j = 0; j < n; ++j) s.col[j] *= pow2_factor(mn[j], mx[j]);
+  }
+  return s;
+}
+
+Model apply_scaling(const Model& model, const Scaling& s) {
+  const int m = model.num_rows(), n = model.num_cols();
+  TCR_REQUIRE(static_cast<int>(s.row.size()) == m && static_cast<int>(s.col.size()) == n,
+              "scaling dimensions must match the model");
+  Model out;
+  out.set_sense(model.sense());
+  for (int j = 0; j < n; ++j) {
+    // x'_j = x_j / col[j]; dividing by a power of two keeps lo == up exact
+    // for fixed columns and preserves infinities.
+    out.add_col(model.lower(j) / s.col[j], model.upper(j) / s.col[j],
+                model.cost(j) * s.col[j]);
+  }
+  for (int i = 0; i < m; ++i) out.add_row(model.row_type(i), model.rhs(i) * s.row[i]);
+  for (const auto& t : model.triplets()) {
+    out.add_term(t.row, t.col, t.value * s.row[t.row] * s.col[t.col]);
+  }
+  return out;
+}
+
+void unscale_solution(const Model& model, const Scaling& s, Solution& sol) {
+  for (std::size_t j = 0; j < sol.x.size(); ++j) sol.x[j] *= s.col[j];
+  for (std::size_t i = 0; i < sol.duals.size(); ++i) sol.duals[i] *= s.row[i];
+  for (std::size_t j = 0; j < sol.reduced.size(); ++j) sol.reduced[j] /= s.col[j];
+  if (sol.status == Status::Optimal &&
+      static_cast<int>(sol.x.size()) == model.num_cols()) {
+    sol.objective = model.objective_value(sol.x);
+  }
+}
+
+}  // namespace tcr::lp

@@ -1,0 +1,35 @@
+// Geometric-mean row/column equilibration for LP models.
+//
+// Recovery-ladder stage for numerically hostile solves (lp/simplex.cpp):
+// scale each row and column by the reciprocal of the geometric mean of its
+// extreme nonzero magnitudes, iterated a few passes, with every factor
+// rounded to a power of two so the scaling itself is exact in floating
+// point. The scaled model has the same objective value; primal and dual
+// solutions map back through the factors (unscale_solution).
+#pragma once
+
+#include <vector>
+
+#include "tcr/lp/model.hpp"
+
+namespace tcr::lp {
+
+struct Scaling {
+  std::vector<double> row;  // row i of A is multiplied by row[i]
+  std::vector<double> col;  // x_j = col[j] * x'_j (column j multiplied by col[j])
+};
+
+/// Geometric-mean scaling factors, rounded to powers of two. `passes`
+/// alternations of row and column equilibration (2 is the classic choice).
+Scaling geometric_mean_scaling(const Model& model, int passes = 2);
+
+/// The scaled model: A' = R A C, b' = R b, c' = C c, bounds / col factors.
+/// Its optimal objective equals the original's.
+Model apply_scaling(const Model& model, const Scaling& s);
+
+/// Map a solution of apply_scaling(model, s) back to the original model:
+/// x = C x', y = R y', d = d' / C. The objective is recomputed from the
+/// unscaled x so it is exactly consistent with the returned point.
+void unscale_solution(const Model& model, const Scaling& s, Solution& sol);
+
+}  // namespace tcr::lp

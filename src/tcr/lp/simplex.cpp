@@ -5,8 +5,12 @@
 #include <string>
 #include <vector>
 
+#include "tcr/fault/fault.hpp"
 #include "tcr/lin/sparse.hpp"
 #include "tcr/lin/sparse_lu.hpp"
+#include "tcr/lp/certify.hpp"
+#include "tcr/lp/dense_simplex.hpp"
+#include "tcr/lp/scaling.hpp"
 #include "tcr/lp/standard_form.hpp"
 #include "tcr/obs/registry.hpp"
 #include "tcr/util/check.hpp"
@@ -51,6 +55,25 @@ struct SimplexMetrics {
 
   static SimplexMetrics& get() {
     static SimplexMetrics m;
+    return m;
+  }
+};
+
+// Which recovery-ladder stage rescued a breakdown (or that none did).
+struct RecoveryMetrics {
+  obs::Counter& attempts = obs::Registry::instance().counter("lp.recovery.attempts");
+  obs::Counter& exhausted = obs::Registry::instance().counter("lp.recovery.exhausted");
+  obs::Counter& rescued_reseed =
+      obs::Registry::instance().counter("lp.recovery.rescued.reseed");
+  obs::Counter& rescued_equilibrate =
+      obs::Registry::instance().counter("lp.recovery.rescued.equilibrate");
+  obs::Counter& rescued_careful =
+      obs::Registry::instance().counter("lp.recovery.rescued.careful");
+  obs::Counter& rescued_dense =
+      obs::Registry::instance().counter("lp.recovery.rescued.dense");
+
+  static RecoveryMetrics& get() {
+    static RecoveryMetrics m;
     return m;
   }
 };
@@ -194,6 +217,12 @@ class RevisedSimplex {
     ++refactor_count_;
     met_.eta_length.record(static_cast<double>(etas_.size()));
     etas_.clear();
+    if (auto* h = fault::simplex_hooks()) {
+      if (fault::SimplexHooks::consume(h->fail_refactors)) {
+        h->refactor_failures_injected.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+    }
     if (!lu_.factor(a_, basic_)) return false;
     met_.lu_fill_nnz.record(static_cast<double>(lu_.factor_nnz()));
     compute_basic_values();
@@ -483,6 +512,12 @@ class RevisedSimplex {
       Eta eta;
       eta.pos = leave;
       eta.pivot = w[leave];
+      if (auto* h = fault::simplex_hooks()) {
+        if (h->eta_drift != 0.0 && fault::SimplexHooks::consume(h->drift_etas)) {
+          h->eta_drifts_injected.fetch_add(1, std::memory_order_relaxed);
+          eta.pivot *= 1.0 + h->eta_drift;
+        }
+      }
       for (int i = 0; i < m_; ++i) {
         if (i != leave && w[i] != 0.0) eta.entries.emplace_back(i, w[i]);
       }
@@ -520,6 +555,14 @@ class RevisedSimplex {
     for (int j = 0; j < sf_.nstruct; ++j) {
       sol.reduced[j] = sign * (sf_.cost[j] - a_.column_dot(j, y));
     }
+
+    if (auto* h = fault::simplex_hooks()) {
+      if (h->solution_corruption != 0.0 && !sol.x.empty() &&
+          fault::SimplexHooks::consume(h->corrupt_solutions)) {
+        h->corruptions_injected.fetch_add(1, std::memory_order_relaxed);
+        sol.x[0] += h->solution_corruption;
+      }
+    }
   }
 
   StandardForm sf_;
@@ -551,22 +594,131 @@ class RevisedSimplex {
 
 Solution solve(const Model& model, const SimplexOptions& options) {
   TCR_REQUIRE(model.num_cols() > 0, "model has no variables");
-  {
-    auto sf = detail::build_standard_form(model);
-    RevisedSimplex simplex(std::move(sf), options);
-    Solution sol = simplex.run();
-    if (sol.status != Status::Numerical) return sol;
+
+  const CertifyOptions cert_opts = CertifyOptions::from_solver_tols(
+      options.feas_tol, options.opt_tol, options.certify_tol_factor);
+
+  auto run_attempt = [](const Model& mdl, const SimplexOptions& o) {
+    auto sf = detail::build_standard_form(mdl);
+    RevisedSimplex simplex(std::move(sf), o);
+    return simplex.run();
+  };
+
+  // An attempt is accepted unless it broke down numerically or produced an
+  // "optimal" point whose independent certificate fails. Infeasible,
+  // Unbounded and IterationLimit verdicts stand: re-solving cannot change
+  // what the model is, only how it was pivoted.
+  auto accept = [&](Solution& sol) {
+    if (sol.status == Status::Numerical) return false;
+    if (sol.status != Status::Optimal) return true;
+    if (!options.certify) return true;
+    sol.certificate = certify(model, sol, cert_opts);
+    return sol.certificate.pass;
+  };
+
+  auto describe = [](const Solution& sol) {
+    if (sol.status == Status::Optimal) {
+      return sol.certificate.checked ? sol.certificate.summary()
+                                     : std::string("optimal (uncertified)");
+    }
+    std::string d = to_string(sol.status);
+    if (!sol.note.empty()) d += " (" + sol.note + ")";
+    return d;
+  };
+
+  Solution best = run_attempt(model, options);
+  if (accept(best)) return best;
+
+  // ---- staged recovery ladder ----
+  auto& met = SimplexMetrics::get();
+  auto& rec = RecoveryMetrics::get();
+  std::string history = "first attempt: " + describe(best);
+
+  // Keep the most defensible attempt for the exhausted case: an optimal
+  // point with a failing certificate beats a breakdown, and among failed
+  // certificates the smaller worst-residual wins.
+  auto keep_better = [&](Solution& cand) {
+    const bool cand_opt = cand.status == Status::Optimal;
+    const bool best_opt = best.status == Status::Optimal;
+    bool take = false;
+    if (cand_opt != best_opt) {
+      take = cand_opt;
+    } else if (cand_opt) {
+      take = &worse_certificate(cand.certificate, best.certificate) == &best.certificate;
+    }
+    if (take) std::swap(best, cand);
+  };
+
+  enum StageId { kReseed = 0, kEquilibrate, kCareful, kDense, kNumStages };
+  obs::Counter* rescued[kNumStages] = {&rec.rescued_reseed, &rec.rescued_equilibrate,
+                                       &rec.rescued_careful, &rec.rescued_dense};
+  const char* names[kNumStages] = {"reseed", "equilibrate", "careful", "dense"};
+
+  int stages_run = 0;
+  for (int stage = 0; stage < kNumStages && stages_run < options.max_recovery_stages;
+       ++stage) {
+    Solution cand;
+    switch (stage) {
+      case kReseed: {
+        // Different perturbation seed and the opposite perturbation setting
+        // shift the pivot sequence enough to escape most bad bases.
+        if (!options.recover_reseed) continue;
+        SimplexOptions o = options;
+        o.seed = options.seed * 2654435761ULL + 17;
+        o.perturb = !options.perturb;
+        cand = run_attempt(model, o);
+        break;
+      }
+      case kEquilibrate: {
+        // Solve the geometric-mean-equilibrated model and map the solution
+        // back; the power-of-two factors make the transform exact.
+        if (!options.recover_equilibrate) continue;
+        const Scaling s = geometric_mean_scaling(model);
+        const Model scaled = apply_scaling(model, s);
+        SimplexOptions o = options;
+        o.seed = options.seed ^ 0x9e3779b97f4a7c15ULL;
+        cand = run_attempt(scaled, o);
+        unscale_solution(model, s, cand);
+        break;
+      }
+      case kCareful: {
+        // Slow but stable: refactorize constantly, drop the perturbation,
+        // and fall into Bland pricing almost immediately.
+        if (!options.recover_careful) continue;
+        SimplexOptions o = options;
+        o.refactor_every = std::min(options.refactor_every, 8);
+        o.bland_after = 1;
+        o.perturb = false;
+        o.seed = options.seed * 6364136223846793005ULL + 1442695040888963407ULL;
+        cand = run_attempt(model, o);
+        break;
+      }
+      case kDense: {
+        // Last resort for small models: the dense reference simplex shares
+        // no code with the revised solver (explicit inverse, Bland's rule).
+        if (!options.recover_dense) continue;
+        if (model.num_rows() + model.num_cols() > options.dense_fallback_max_dim) {
+          history += "; dense: skipped (model too large)";
+          continue;
+        }
+        cand = solve_dense(model);
+        break;
+      }
+    }
+    ++stages_run;
+    rec.attempts.add(1);
+    met.retries.add(1);
+    if (accept(cand)) {
+      rescued[stage]->add(1);
+      return cand;
+    }
+    history += std::string("; ") + names[stage] + ": " + describe(cand);
+    keep_better(cand);
   }
-  // One retry on numerical breakdown: different perturbation seed and the
-  // opposite perturbation setting shift the pivot sequence enough to escape
-  // most bad bases.
-  SimplexMetrics::get().retries.add(1);
-  SimplexOptions retry = options;
-  retry.seed = options.seed * 2654435761ULL + 17;
-  retry.perturb = !options.perturb;
-  auto sf = detail::build_standard_form(model);
-  RevisedSimplex simplex(std::move(sf), retry);
-  return simplex.run();
+
+  rec.exhausted.add(1);
+  best.note = "recovery ladder exhausted: " + history;
+  return best;
 }
 
 }  // namespace tcr::lp

@@ -27,9 +27,37 @@ struct SimplexOptions {
   bool perturb = true;          // phase-2 anti-degeneracy cost perturbation
   std::uint64_t seed = 0x5eedULL;
   int bland_after = 3000;  // consecutive degenerate pivots before Bland mode
+
+  // ---- certification ----
+  /// Run lp::certify() on every Optimal solve and store the result in
+  /// Solution::certificate. A failing certificate is treated like a
+  /// numerical breakdown: the recovery ladder below runs.
+  bool certify = true;
+  /// Certification tolerances are the solver tolerances times this factor
+  /// (the checker measures a different norm than the solver controls, so it
+  /// needs headroom; 10x is conservative but still catches real breakage).
+  double certify_tol_factor = 10.0;
+
+  // ---- staged recovery ladder ----
+  /// How many ladder stages may run after the first attempt fails with
+  /// Status::Numerical or a failed certificate (0 disables recovery).
+  /// Stages run in order: reseed, equilibrate, careful, dense.
+  int max_recovery_stages = 4;
+  bool recover_reseed = true;       // new perturbation seed, flipped perturb
+  bool recover_equilibrate = true;  // geometric-mean scaling, solve, unscale
+  bool recover_careful = true;      // tight refactorization + Bland pricing
+  bool recover_dense = true;        // dense reference simplex (small models)
+  /// The dense fallback only runs when rows + cols <= this (it is O(m^2 n)
+  /// per iteration; beyond this it would dominate the solve time).
+  int dense_fallback_max_dim = 600;
 };
 
-/// Solve with the sparse revised simplex.
+/// Solve with the sparse revised simplex. On numerical breakdown — or, when
+/// options.certify is set, on an optimal solution whose independent
+/// certificate fails — a staged recovery ladder re-solves with progressively
+/// more conservative settings (see SimplexOptions). The returned Solution
+/// carries the certificate of the accepted attempt; if every stage fails the
+/// first attempt's result is returned with a note recording the ladder.
 Solution solve(const Model& model, const SimplexOptions& options = {});
 
 }  // namespace tcr::lp

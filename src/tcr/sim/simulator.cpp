@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "tcr/fault/fault.hpp"
 #include "tcr/util/check.hpp"
 
 namespace tcr {
@@ -14,6 +15,8 @@ struct SimMetrics {
   obs::Counter& runs;
   obs::Counter& deadlocks;
   obs::Counter& near_misses;
+  obs::Counter& link_fault_cycles;
+  obs::Counter& credit_stall_skips;
   obs::Histogram& latency;
   obs::Histogram& injection_rate;
   obs::Histogram& accepted_rate;
@@ -28,6 +31,8 @@ struct SimMetrics {
       : runs(obs::Registry::instance().counter("sim.runs")),
         deadlocks(obs::Registry::instance().counter("sim.deadlocks")),
         near_misses(obs::Registry::instance().counter("sim.deadlock_near_miss")),
+        link_fault_cycles(obs::Registry::instance().counter("sim.fault.link_down_cycles")),
+        credit_stall_skips(obs::Registry::instance().counter("sim.fault.credit_stalls")),
         latency(obs::Registry::instance().histogram("sim.packet_latency", 1.0, 1.2)),
         injection_rate(obs::Registry::instance().histogram("sim.injection_rate", 1e-3, 1.1)),
         accepted_rate(obs::Registry::instance().histogram("sim.accepted_rate", 1e-3, 1.1)) {}
@@ -140,6 +145,10 @@ void Simulator::step() {
   //   0                    -> source queue of n
   //   1 + dir*vcs + vc     -> input buffer (in-channel dir, vc)
   for (int c = 0; c < torus_.num_channels(); ++c) {
+    if (cfg_.faults && cfg_.faults->link_down(c, cycle_)) {
+      SimMetrics::get().link_fault_cycles.add(1);
+      continue;  // link transmits nothing this cycle
+    }
     const int n = torus_.channel_src(c);
     const int slots = 1 + kNumDirs * cfg_.vcs;
     for (int probe = 0; probe < slots; ++probe) {
@@ -160,6 +169,10 @@ void Simulator::step() {
       if (head.moved_stamp == cycle_) continue;  // already advanced this cycle
       auto& dst_buf = buffers_[buffer_index(c, head.vcs[head.hop])];
       if (static_cast<int>(dst_buf.size()) >= cfg_.buffer_depth) continue;
+      if (cfg_.faults && cfg_.faults->credit_stalled(c, head.vcs[head.hop], cycle_)) {
+        SimMetrics::get().credit_stall_skips.add(1);
+        continue;  // downstream reports no credit despite free space
+      }
 
       Packet p = std::move(head);
       queue->pop_front();

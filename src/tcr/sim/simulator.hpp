@@ -18,6 +18,10 @@
 #include "tcr/sim/network.hpp"
 #include "tcr/sim/traffic_gen.hpp"
 
+namespace tcr::fault {
+struct SimFaultPlan;
+}
+
 namespace tcr {
 
 struct SimConfig {
@@ -29,6 +33,9 @@ struct SimConfig {
   int deadlock_threshold = 2000;  // quiet cycles before declaring deadlock
   int stats_window = 500;         // cycles per injection/ejection-rate sample
   std::uint64_t seed = 42;
+  /// Optional fault-injection plan (tcr::fault): links down and credit
+  /// stalls during cycle windows. Not owned; must outlive the run.
+  const fault::SimFaultPlan* faults = nullptr;
 };
 
 struct SimStats {

@@ -65,6 +65,56 @@ TEST(DenseLU, DetectsSingular) {
   EXPECT_FALSE(lu.factor(a));
 }
 
+TEST(DenseLU, DetectsZeroRowAndDuplicatedRows) {
+  const int n = 5;
+  Rng rng(71);
+  DenseMatrix zero_row(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) zero_row(i, j) = (i == 2) ? 0.0 : rng.uniform(-1, 1);
+  DenseLU lu;
+  EXPECT_FALSE(lu.factor(zero_row));
+
+  DenseMatrix dup(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) dup(i, j) = rng.uniform(-1, 1);
+  for (int j = 0; j < n; ++j) dup(4, j) = dup(1, j);  // row 4 copies row 1
+  EXPECT_FALSE(lu.factor(dup));
+}
+
+TEST(DenseLU, NearSingularStaysFinite) {
+  // Ill-conditioned but full-rank: two nearly parallel rows. If factor()
+  // accepts it, the solve must return finite values — a huge answer is fine,
+  // NaN is not.
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 1.0 + 1e-10;
+  DenseLU lu;
+  if (lu.factor(a)) {
+    for (double v : lu.solve({1.0, 2.0})) EXPECT_TRUE(std::isfinite(v)) << v;
+    for (double v : lu.solve_transpose({3.0, -1.0})) EXPECT_TRUE(std::isfinite(v)) << v;
+  }
+}
+
+TEST(DenseLU, RecoversAfterSingularFactor) {
+  DenseMatrix singular(2, 2);
+  singular(0, 0) = 1.0;
+  singular(0, 1) = -2.0;
+  singular(1, 0) = -2.0;
+  singular(1, 1) = 4.0;
+  DenseLU lu;
+  ASSERT_FALSE(lu.factor(singular));
+
+  DenseMatrix good(2, 2);
+  good(0, 0) = 2.0;
+  good(1, 1) = 4.0;
+  ASSERT_TRUE(lu.factor(good));
+  const auto x = lu.solve({2.0, 2.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 0.5, 1e-12);
+}
+
 TEST(DenseLU, NeedsPivoting) {
   // Zero on the diagonal forces a row swap.
   DenseMatrix a(2, 2);

@@ -68,6 +68,29 @@ TEST(Model, RejectsBadInput) {
   EXPECT_THROW(m.objective_value({1.0, 2.0}), Error);  // wrong arity
 }
 
+TEST(Model, RejectsNonFiniteInput) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  Model m;
+  // NaN anywhere in a column definition is rejected at the door — a NaN
+  // bound or cost would otherwise poison every downstream dot product.
+  EXPECT_THROW(m.add_col(nan, 1.0, 0.0), Error);
+  EXPECT_THROW(m.add_col(0.0, nan, 0.0), Error);
+  EXPECT_THROW(m.add_col(0.0, 1.0, nan), Error);
+  EXPECT_THROW(m.add_col(0.0, 1.0, kInf), Error);   // infinite cost
+  EXPECT_THROW(m.add_col(kInf, kInf, 0.0), Error);  // lo = +inf
+  EXPECT_THROW(m.add_col(-kInf, -kInf, 0.0), Error);  // up = -inf
+  EXPECT_EQ(m.num_cols(), 0);
+
+  const int x = m.add_col(-kInf, kInf, 1.0);  // infinite BOUNDS stay legal
+  const int r = m.add_row(RowType::LE, 1.0);
+  EXPECT_THROW(m.add_term(r, x, nan), Error);
+  EXPECT_THROW(m.add_term(r, x, kInf), Error);
+  EXPECT_THROW(m.add_row(RowType::GE, nan), Error);
+  EXPECT_THROW(m.set_cost(x, nan), Error);
+  EXPECT_THROW(m.set_cost(x, -kInf), Error);
+  EXPECT_EQ(m.num_terms(), 0u);
+}
+
 TEST(Model, SenseRoundTrip) {
   Model m;
   EXPECT_EQ(m.sense(), Sense::Minimize);

@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "tcr/lin/dense_matrix.hpp"
+#include "tcr/lp/certify.hpp"
 #include "tcr/lp/dense_simplex.hpp"
 #include "tcr/lp/simplex.hpp"
 #include "tcr/obs/registry.hpp"
@@ -74,6 +75,9 @@ TEST(RevisedSimplex, AgreesWithOracleOnRandomLPs) {
       ASSERT_NEAR(sol.objective, ref.objective, 1e-5 * (1 + std::abs(ref.objective)))
           << "trial " << trial;
       EXPECT_LT(m.max_violation(sol.x), 1e-5) << "trial " << trial;
+      // Every accepted solve must carry a passing independent certificate.
+      EXPECT_TRUE(sol.certificate.ok())
+          << "trial " << trial << ": " << sol.certificate.summary();
     } else if (ref.status == Status::Infeasible) {
       ++infeasible_seen;
       EXPECT_EQ(sol.status, Status::Infeasible) << "trial " << trial;
@@ -278,6 +282,42 @@ TEST(RevisedSimplex, EmptyRowsAndColumns) {
   const auto sol = solve(m);
   ASSERT_EQ(sol.status, Status::Optimal);
   EXPECT_NEAR(sol.objective, 2.0, 1e-8);
+}
+
+TEST(RevisedSimplex, CertifierRejectsCorruptedRandomSolutions) {
+  // The independent checker must not only bless good solves (above) but
+  // reject the same solutions once corrupted — otherwise a passing
+  // certificate carries no information.
+  Rng rng(4711);
+  int rejected = 0;
+  for (int trial = 0; trial < 60 && rejected < 15; ++trial) {
+    Model m = random_model(rng, 6, 8);
+    Solution sol = solve(m);
+    if (sol.status != Status::Optimal) continue;
+    const int j = static_cast<int>(rng.below(m.num_cols()));
+    sol.x[j] += rng.uniform() < 0.5 ? 1.5 : -1.5;
+    const Certificate cert = certify(m, sol);
+    EXPECT_TRUE(cert.checked);
+    if (!cert.pass) ++rejected;
+  }
+  // A 1.5 shift must be caught essentially always (it breaks feasibility,
+  // the objective match, or complementarity at this scale).
+  EXPECT_GE(rejected, 15);
+}
+
+TEST(RevisedSimplex, RecoveryLadderConfigRespected) {
+  Rng rng(31337);
+  const Model m = random_model(rng, 8, 10);
+  // All stages off is the legacy single-shot behavior and must still solve
+  // healthy models.
+  SimplexOptions opts;
+  opts.max_recovery_stages = 0;
+  const auto sol = solve(m, opts);
+  const auto ref = solve_dense(m);
+  if (ref.status == Status::Optimal) {
+    ASSERT_EQ(sol.status, Status::Optimal);
+    EXPECT_NEAR(sol.objective, ref.objective, 1e-6 * (1 + std::abs(ref.objective)));
+  }
 }
 
 TEST(RevisedSimplex, PopulatesObsMetrics) {

@@ -132,6 +132,80 @@ TEST(SparseLU, EmptyColumnIsSingular) {
   EXPECT_FALSE(lu.factor(a, {0, 1, 2}));
 }
 
+TEST(SparseLU, DuplicatedRowsAreSingular) {
+  // Row 2 duplicates row 0, so the matrix has rank 2 < 3. The factorization
+  // must report failure instead of dividing by a vanishing pivot.
+  std::vector<Triplet> trips = {{0, 0, 1.0}, {0, 1, 2.0}, {0, 2, -1.0},
+                                {1, 0, 3.0}, {1, 1, 1.0}, {1, 2, 4.0},
+                                {2, 0, 1.0}, {2, 1, 2.0}, {2, 2, -1.0}};
+  SparseMatrix a(3, 3, trips);
+  SparseLU lu;
+  EXPECT_FALSE(lu.factor(a, {0, 1, 2}));
+  EXPECT_FALSE(lu.deficient_positions().empty());
+}
+
+TEST(SparseLU, ZeroMatrixIsSingular) {
+  SparseMatrix a(4, 4, {});
+  SparseLU lu;
+  EXPECT_FALSE(lu.factor(a, {0, 1, 2, 3}));
+  EXPECT_EQ(lu.deficient_positions().size(), 4u);
+}
+
+TEST(SparseLU, NearSingularSolvesStayFinite) {
+  // Columns differ by ~1e-11: numerically awful but not rank-deficient to
+  // working precision. Whatever factor() decides, a success must never leak
+  // NaN/Inf out of solve().
+  std::vector<Triplet> trips = {{0, 0, 1.0}, {1, 0, 1.0},
+                                {0, 1, 1.0}, {1, 1, 1.0 + 1e-11}};
+  SparseMatrix a(2, 2, trips);
+  SparseLU lu;
+  if (lu.factor(a, {0, 1})) {
+    std::vector<double> x;
+    lu.solve({1.0, 2.0}, x);
+    for (double v : x) EXPECT_TRUE(std::isfinite(v)) << v;
+    std::vector<double> y;
+    lu.solve_transpose({1.0, -1.0}, y);
+    for (double v : y) EXPECT_TRUE(std::isfinite(v)) << v;
+  } else {
+    EXPECT_FALSE(lu.deficient_positions().empty());
+  }
+}
+
+TEST(SparseLU, RecoversAfterSingularFactor) {
+  // A failed factorization must not poison the object: factoring a good
+  // matrix afterwards works and solves correctly.
+  std::vector<Triplet> bad = {{0, 0, 1.0}, {1, 0, 2.0}, {0, 1, 2.0}, {1, 1, 4.0}};
+  SparseMatrix singular(2, 2, bad);
+  SparseLU lu;
+  ASSERT_FALSE(lu.factor(singular, {0, 1}));
+
+  std::vector<Triplet> good = {{0, 0, 2.0}, {1, 1, 5.0}};
+  SparseMatrix diag(2, 2, good);
+  ASSERT_TRUE(lu.factor(diag, {0, 1}));
+  EXPECT_TRUE(lu.deficient_positions().empty());
+  std::vector<double> x;
+  lu.solve({4.0, 10.0}, x);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SparseLU, RankOneUpdateShapedColumnsDetected) {
+  // a_ij = u_i * v_j is rank one for any size; every factorization attempt
+  // past the first pivot must flag the remaining positions as deficient.
+  const int m = 6;
+  std::vector<double> u{1, -2, 3, 0.5, -1.5, 2.5};
+  std::vector<double> v{2, 1, -1, 3, 0.25, -0.75};
+  std::vector<Triplet> trips;
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < m; ++j) trips.push_back({i, j, u[i] * v[j]});
+  SparseMatrix a(m, m, trips);
+  std::vector<int> basis(m);
+  for (int j = 0; j < m; ++j) basis[j] = j;
+  SparseLU lu;
+  EXPECT_FALSE(lu.factor(a, basis));
+  EXPECT_GE(lu.deficient_positions().size(), static_cast<std::size_t>(m - 1));
+}
+
 TEST(SparseLU, IdentityRoundTrip) {
   std::vector<Triplet> trips;
   const int m = 10;
