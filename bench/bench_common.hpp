@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "tcr/core/tradeoff.hpp"
 #include "tcr/lp/model.hpp"
 #include "tcr/obs/json.hpp"
 #include "tcr/obs/registry.hpp"
@@ -17,6 +18,7 @@
 #include "tcr/routing/valiant.hpp"
 #include "tcr/util/cli.hpp"
 #include "tcr/util/table.hpp"
+#include "tcr/util/thread_pool.hpp"
 
 namespace tcr::bench {
 
@@ -30,6 +32,27 @@ inline std::vector<TorusRouting> table1_algorithms(const Torus& t) {
   algos.push_back(make_valiant(t));
   algos.push_back(make_ival(t));
   return algos;
+}
+
+/// Sweep-execution flags shared by the tradeoff benches: `--cold` disables
+/// warm-start basis chaining (`--warm`, the default, re-enables it so runs
+/// can be compared flag-for-flag), and `--chains N` overrides how many
+/// contiguous warm-start chains the sweep is partitioned into.
+inline SweepConfig sweep_config(const Cli& cli) {
+  SweepConfig cfg;
+  if (cli.has("cold")) cfg.warm_start = false;
+  if (cli.has("warm")) cfg.warm_start = true;
+  cfg.chains = cli.get_int("chains", 0);
+  return cfg;
+}
+
+/// `--threads N` pool for the tradeoff sweeps: N > 1 returns a pool of that
+/// size, otherwise nullptr (serial). The point series is identical either
+/// way — the chain partition depends only on (points, chains) — so the flag
+/// trades wall-clock, never results.
+inline std::unique_ptr<ThreadPool> sweep_pool(const Cli& cli) {
+  const int threads = cli.get_int("threads", 1);
+  return threads > 1 ? std::make_unique<ThreadPool>(static_cast<std::size_t>(threads)) : nullptr;
 }
 
 inline void banner(const std::string& title, const std::string& paper_ref) {
@@ -80,6 +103,17 @@ class JsonOutput {
         .set("obs", obs::snapshot_json());
     sink_->write(rec);
     obs::Registry::instance().reset();
+  }
+
+  /// Emit one record *without* an obs snapshot and without resetting the
+  /// registry. Sweeps that chain warm starts across points use this for the
+  /// per-point rows and report the accumulated instrumentation (including
+  /// the lp.warmstart.* counters) in one trailing summary point().
+  void record(obs::Json fields) {
+    if (!sink_) return;
+    auto rec = obs::Json::object();
+    rec.set("bench", bench_).set("point", std::move(fields));
+    sink_->write(rec);
   }
 
  private:

@@ -4,8 +4,12 @@
 //
 // Each curve point solves LP (10): minimize gamma_wc subject to H_avg = L.
 //
-// Flags: --k (default 8), --points (default 11), --json <path> (one JSON
-// record per curve point / algorithm with the obs snapshot of its solve).
+// Flags: --k (default 8), --points (default 11), --warm/--cold/--chains
+// (warm-start chaining, see bench::sweep_config), --threads N (solve the
+// sweep's chains on a pool; results are identical to serial), --json <path>
+// (one JSON record per curve point / algorithm; the curve's obs snapshot —
+// including the lp.warmstart.* counters — arrives in a trailing
+// sweep_summary record).
 #include "bench_common.hpp"
 
 #include "tcr/core/tradeoff.hpp"
@@ -17,6 +21,7 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const int k = cli.get_int("k", 8);
   const int points = cli.get_int("points", 9);
+  const SweepConfig sweep = bench::sweep_config(cli);
   bench::JsonOutput jout(cli, "fig1_wc_tradeoff");
 
   bench::banner("Figure 1: worst-case throughput vs locality, " + std::to_string(k) +
@@ -24,28 +29,40 @@ int main(int argc, char** argv) {
                 "optimal curve = LP (10); points = Hungarian-exact worst case");
   const Torus torus(k);
 
-  // One LP per grid point; solved one at a time so the --json records carry
-  // per-point obs snapshots.
+  // One sweep call: the constraint matrix is built once per chain and each
+  // point warm-starts from the previous basis (unless --cold).
   Stopwatch sw;
-  std::vector<TradeoffPoint> curve;
-  for (const double l : locality_grid(1.0, 2.0, points)) {
-    curve.push_back(worst_case_tradeoff(torus, {l}).front());
-    const TradeoffPoint& pt = curve.back();
+  const auto pool = bench::sweep_pool(cli);
+  const std::vector<TradeoffPoint> curve =
+      worst_case_tradeoff(torus, locality_grid(1.0, 2.0, points), {}, pool.get(), sweep);
+  std::cout << "curve solved in " << sw.seconds() << " s (" << points
+            << " locality-constrained LPs, " << (sweep.warm_start ? "warm" : "cold")
+            << " starts)\n\n";
+
+  for (const TradeoffPoint& pt : curve) {
     auto fields = obs::Json::object();
     fields.set("series", "optimal_curve")
         .set("k", k)
         .set("locality", pt.locality)
-        .set("capacity_fraction", pt.capacity_fraction)
+        .set("capacity_fraction", pt.capacity_fraction)  // NaN -> null when unsolved
         .set("status", lp::to_string(pt.status))
         .set("certificate", bench::certificate_json(pt.certificate));
+    jout.record(std::move(fields));
+  }
+  {
+    auto fields = obs::Json::object();
+    fields.set("series", "sweep_summary")
+        .set("k", k)
+        .set("points", points)
+        .set("warm_start", sweep.warm_start)
+        .set("chains", sweep.chains);
     jout.point(std::move(fields));
   }
-  std::cout << "curve solved in " << sw.seconds() << " s ("
-            << points << " locality-constrained LPs)\n\n";
 
   TextTable curve_table({"H_avg/minimal (L)", "optimal Theta_wc/cap", "status"});
   for (const auto& pt : curve) {
-    curve_table.add_row({TextTable::num(pt.locality, 3), TextTable::num(pt.capacity_fraction, 4),
+    curve_table.add_row({TextTable::num(pt.locality, 3),
+                         pt.solved() ? TextTable::num(pt.capacity_fraction, 4) : "unsolved",
                          bench::status_line(pt.status, pt.note)});
   }
   curve_table.print(std::cout);

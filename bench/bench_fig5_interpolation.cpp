@@ -7,7 +7,9 @@
 //
 // Flags: --k (default 8), --alphas (default 9), --curve-points (default 11),
 // --skip-curve (skip the optimal-curve LPs used for the gap column),
-// --json <path> (one JSON record per interpolation point).
+// --warm/--cold/--chains (warm-start chaining for the curve sweep),
+// --threads N (solve the curve's chains on a pool), --json <path> (one JSON
+// record per interpolation point).
 #include "bench_common.hpp"
 
 #include <cmath>
@@ -27,7 +29,10 @@ double optimal_locality_at(const std::vector<tcr::TradeoffPoint>& curve, double 
   // maps to its leftmost (smallest-locality) attainment.
   using tcr::TradeoffPoint;
   const TradeoffPoint* lo = nullptr;
+  const TradeoffPoint* last = nullptr;
   for (const auto& pt : curve) {
+    if (!pt.solved()) continue;  // unsolved points carry NaN, never interpolate
+    last = &pt;
     if (pt.capacity_fraction >= frac - 1e-12) {
       if (lo == nullptr || lo->capacity_fraction >= frac - 1e-12) return pt.locality;
       const double t =
@@ -36,7 +41,7 @@ double optimal_locality_at(const std::vector<tcr::TradeoffPoint>& curve, double 
     }
     lo = &pt;
   }
-  return curve.back().locality;
+  return last != nullptr ? last->locality : 1.0;
 }
 
 }  // namespace
@@ -57,7 +62,9 @@ int main(int argc, char** argv) {
 
   std::vector<TradeoffPoint> curve;
   if (!cli.has("skip-curve")) {
-    curve = worst_case_tradeoff(torus, locality_grid(1.0, 2.0, cli.get_int("curve-points", 9)));
+    const auto pool = bench::sweep_pool(cli);
+    curve = worst_case_tradeoff(torus, locality_grid(1.0, 2.0, cli.get_int("curve-points", 9)),
+                                {}, pool.get(), bench::sweep_config(cli));
   }
 
   const auto two_turn = design_two_turn(torus);

@@ -5,8 +5,11 @@
 // doubly-stochastic samples, eq. (9) with |X| = --samples (default 100).
 //
 // Flags: --k (default 8), --points (default 9), --samples (default 100),
-// --design-samples (default 24), --skip-curve, --skip-design, --json <path>
-// (one JSON record per curve point / designed routing / algorithm point).
+// --design-samples (default 24), --skip-curve, --skip-design, --warm/--cold/
+// --chains (warm-start chaining, see bench::sweep_config), --threads N
+// (solve the sweep's chains on a pool), --json <path>
+// (one JSON record per curve point / designed routing / algorithm point;
+// the curve's obs snapshot arrives in a trailing sweep_summary record).
 #include "bench_common.hpp"
 
 #include "tcr/core/design.hpp"
@@ -24,6 +27,7 @@ int main(int argc, char** argv) {
   const int points = cli.get_int("points", 5);
   const int eval_count = cli.get_int("samples", 100);
   const int design_count = cli.get_int("design-samples", 12);
+  const SweepConfig sweep = bench::sweep_config(cli);
   bench::JsonOutput jout(cli, "fig6_avg_tradeoff");
 
   bench::banner("Figure 6: average-case throughput vs locality, " + std::to_string(k) +
@@ -38,24 +42,32 @@ int main(int argc, char** argv) {
 
   if (!cli.has("skip-curve")) {
     Stopwatch sw;
-    std::vector<TradeoffPoint> curve;
-    for (const double l : locality_grid(1.0, 2.0, points)) {
-      curve.push_back(average_case_tradeoff(torus, design_samples, {l}).front());
-      const TradeoffPoint& pt = curve.back();
+    const auto pool = bench::sweep_pool(cli);
+    const std::vector<TradeoffPoint> curve = average_case_tradeoff(
+        torus, design_samples, locality_grid(1.0, 2.0, points), {}, pool.get(), sweep);
+    std::cout << "curve solved in " << sw.seconds() << " s ("
+              << (sweep.warm_start ? "warm" : "cold") << " starts)\n\n";
+    for (const TradeoffPoint& pt : curve) {
       auto fields = obs::Json::object();
       fields.set("series", "optimal_curve")
           .set("k", k)
           .set("locality", pt.locality)
-          .set("capacity_fraction", pt.capacity_fraction)
+          .set("capacity_fraction", pt.capacity_fraction)  // NaN -> null when unsolved
           .set("status", lp::to_string(pt.status))
           .set("certificate", bench::certificate_json(pt.certificate));
-      jout.point(std::move(fields));
+      jout.record(std::move(fields));
     }
-    std::cout << "curve solved in " << sw.seconds() << " s\n\n";
+    auto summary = obs::Json::object();
+    summary.set("series", "sweep_summary")
+        .set("k", k)
+        .set("points", points)
+        .set("warm_start", sweep.warm_start)
+        .set("chains", sweep.chains);
+    jout.point(std::move(summary));
     TextTable curve_table({"H_avg/minimal (L)", "optimal Theta_avg/cap", "status"});
     for (const auto& pt : curve) {
       curve_table.add_row({TextTable::num(pt.locality, 3),
-                           TextTable::num(pt.capacity_fraction, 4),
+                           pt.solved() ? TextTable::num(pt.capacity_fraction, 4) : "unsolved",
                            bench::status_line(pt.status, pt.note)});
     }
     curve_table.print(std::cout);

@@ -259,21 +259,41 @@ void SymmetricArcDesign::add_locality_row() {
   for (int e = 1; e < n; ++e) {
     for (int c = 0; c < nc; ++c) model_.add_term(row, flow_var(e, c), 1.0);
   }
+  locality_row_ = row;
 }
 
-DesignResult SymmetricArcDesign::solve(const lp::SimplexOptions& opts) {
+void SymmetricArcDesign::set_locality_bound(double locality_equals) {
+  TCR_REQUIRE(locality_row_ >= 0,
+              "design has no locality row; construct with locality_equals >= 0");
+  TCR_REQUIRE(locality_equals >= 0.0, "locality bound must be nonnegative");
+  config_.locality_equals = locality_equals;
+  model_.set_rhs(locality_row_, locality_equals * torus_.num_nodes());
+}
+
+DesignResult SymmetricArcDesign::solve(const lp::SimplexOptions& opts,
+                                       const lp::Basis* warm) {
   auto& met = DesignMetrics::get();
   met.solves.add(1);
   lp::Solution sol;
   {
     obs::ScopedTimer t(met.t_solve);
-    sol = lp::solve(model_, opts);
+    if (warm != nullptr && !warm->empty() && locality_row_ >= 0) {
+      // The only row a sweep edits between solves is the locality bound;
+      // annotating it lets the warm-start repair aim its reentry pivot at
+      // that row's slack instead of searching for the moved constraint.
+      lp::Basis hinted = *warm;
+      hinted.edited_rows.assign(1, locality_row_);
+      sol = lp::solve(model_, opts, &hinted);
+    } else {
+      sol = lp::solve(model_, opts, warm);
+    }
   }
   DesignResult res;
   res.status = sol.status;
   res.iterations = sol.iterations;
   res.note = sol.note;
   res.certificate = sol.certificate;
+  res.basis = std::move(sol.basis);
   if (sol.status != lp::Status::Optimal) return res;
   res.objective = sol.objective;
   met.last_objective.set(sol.objective);

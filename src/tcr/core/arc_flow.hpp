@@ -74,6 +74,9 @@ struct DesignResult {
   long iterations = 0;
   std::string note;         // solver stop diagnosis when not Optimal
   lp::Certificate certificate;  // independent KKT check of the design LP
+  /// Final simplex basis (exported on every outcome); feed it back into
+  /// solve() of an incrementally-updated design to warm-start.
+  lp::Basis basis;
 };
 
 class SymmetricArcDesign {
@@ -81,8 +84,19 @@ class SymmetricArcDesign {
   SymmetricArcDesign(const Torus& torus, SymmetricDesignConfig config);
 
   /// Solve the LP. The designed routing (path decomposition of the optimal
-  /// flows) is available via routing() when status == Optimal.
-  DesignResult solve(const lp::SimplexOptions& opts = {});
+  /// flows) is available via routing() when status == Optimal. `warm`
+  /// optionally seeds the simplex with a previous solve's basis (see
+  /// lp::solve); it pays off when only the locality bound moved since.
+  DesignResult solve(const lp::SimplexOptions& opts = {},
+                     const lp::Basis* warm = nullptr);
+
+  /// Move the locality bound without rebuilding the model: rewrites the
+  /// locality row's right-hand side in place (the row's type and
+  /// coefficients never change). Requires a locality row, i.e. the design
+  /// was configured with locality_equals >= 0. Sweeps use this to step
+  /// through localities against one constraint matrix, warm-starting each
+  /// point from the previous basis.
+  void set_locality_bound(double locality_equals);
 
   /// Decomposed routing from the last successful solve.
   TorusRouting routing(const std::string& name) const;
@@ -113,6 +127,7 @@ class SymmetricArcDesign {
   std::vector<int> rep_commodities_;
   int wc_var_ = -1;      // w of LP (8)
   int uni_var_ = -1;     // uniform max-load variable
+  int locality_row_ = -1;  // row index of the locality constraint, if any
   std::vector<int> avg_vars_;  // per-sample max-load variables
   std::vector<double> solution_flows_;  // (N-1) * C flow values after solve
 };

@@ -36,9 +36,11 @@ OptimalDesign lexicographic(const Torus& torus, DesignObjective objective,
                     .note = {},
                     .certificate = {},
                     .routing = TorusRouting(torus, name)};
+  lp::Basis stage1_basis;
+  int stage1_rows = 0, stage1_cols = 0;
   {
     SymmetricArcDesign stage1(torus, cfg);
-    const DesignResult r1 = stage1.solve(opts);
+    DesignResult r1 = stage1.solve(opts);
     out.certificate = r1.certificate;
     if (r1.status != lp::Status::Optimal) {
       out.status = r1.status;
@@ -46,6 +48,9 @@ OptimalDesign lexicographic(const Torus& torus, DesignObjective objective,
       return out;
     }
     out.objective = r1.objective;
+    stage1_basis = std::move(r1.basis);
+    stage1_rows = stage1.model().num_rows();
+    stage1_cols = stage1.model().num_cols();
   }
 
   // Stage 2: best locality subject to the stage-1 optimum.
@@ -57,7 +62,13 @@ OptimalDesign lexicographic(const Torus& torus, DesignObjective objective,
   if (objective == DesignObjective::Uniform) cfg2.uniform_cap = cap;
   if (objective == DesignObjective::AverageCase) cfg2.average_cap = cap;
   SymmetricArcDesign stage2(torus, cfg2);
-  const DesignResult r2 = stage2.solve(opts);
+  // The worst-case/uniform caps only tighten a variable bound, so the
+  // stage-2 model keeps stage 1's shape and its optimal basis is a natural
+  // warm start (the stage-1 optimum is primal-feasible for stage 2). The
+  // average-case cap adds a row, which changes the standard form — skip.
+  const bool same_shape = stage2.model().num_rows() == stage1_rows &&
+                          stage2.model().num_cols() == stage1_cols;
+  const DesignResult r2 = stage2.solve(opts, same_shape ? &stage1_basis : nullptr);
   out.status = r2.status;
   out.certificate = lp::worse_certificate(out.certificate, r2.certificate);
   if (r2.status != lp::Status::Optimal) {

@@ -76,7 +76,11 @@ class PathLP {
     if (want_avg) add_average(config.samples, objective == DesignObjective::AverageCase, cap);
   }
 
-  lp::Solution solve(const lp::SimplexOptions& opts) { return lp::solve(model_, opts); }
+  lp::Solution solve(const lp::SimplexOptions& opts, const lp::Basis* warm = nullptr) {
+    return lp::solve(model_, opts, warm);
+  }
+
+  const Model& model() const { return model_; }
 
   TorusRouting extract(const lp::Solution& sol, const std::string& name) const {
     TorusRouting r(torus_, name);
@@ -198,10 +202,15 @@ PathDesignResult design_over_paths(const Torus& torus, const std::string& name,
     return out;
   }
 
-  // Stage 2: shortest average path length at that throughput.
+  // Stage 2: shortest average path length at that throughput. For the
+  // worst-case objective the cap only tightens w's upper bound, so stage 2
+  // keeps stage 1's shape and warm-starts from its optimal basis; the
+  // average-case cap adds a row (different standard form), so start cold.
   const double cap = s1.objective * (1.0 + 1e-6);
   PathLP stage2(torus, family, config, DesignObjective::Locality, cap);
-  const lp::Solution s2 = stage2.solve(opts);
+  const bool same_shape = stage2.model().num_rows() == stage1.model().num_rows() &&
+                          stage2.model().num_cols() == stage1.model().num_cols();
+  const lp::Solution s2 = stage2.solve(opts, same_shape ? &s1.basis : nullptr);
   out.status = s2.status;
   out.certificate = lp::worse_certificate(out.certificate, s2.certificate);
   if (s2.status != lp::Status::Optimal) {

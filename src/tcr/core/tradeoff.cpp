@@ -1,5 +1,7 @@
 #include "tcr/core/tradeoff.hpp"
 
+#include <algorithm>
+
 #include "tcr/util/check.hpp"
 
 namespace tcr {
@@ -9,33 +11,54 @@ namespace {
 std::vector<TradeoffPoint> sweep(const Torus& torus, DesignObjective objective,
                                  const std::vector<std::vector<int>>& samples,
                                  const std::vector<double>& localities,
-                                 const lp::SimplexOptions& opts, ThreadPool* pool) {
+                                 const lp::SimplexOptions& opts, ThreadPool* pool,
+                                 const SweepConfig& sweep_cfg) {
   const double hmin = torus.mean_min_distance();
   const double ideal = torus.ideal_uniform_load();
   std::vector<TradeoffPoint> out(localities.size());
+  const int n = static_cast<int>(localities.size());
+  if (n == 0) return out;
 
-  auto run_point = [&](int i) {
+  const bool on_pool = pool != nullptr && pool->size() > 1;
+  int chains = sweep_cfg.chains;
+  if (chains <= 0) chains = on_pool ? static_cast<int>(pool->size()) : 1;
+  chains = std::min(chains, n);
+
+  // One chain = one contiguous block of points sharing a single design
+  // model: the constraint matrix is built once, only the locality bound
+  // moves between points, and each point's basis warm-starts the next.
+  auto run_chain = [&](int begin, int end) {
     SymmetricDesignConfig cfg;
     cfg.objective = objective;
     cfg.samples = samples;
-    cfg.locality_equals = localities[i] * hmin;
+    cfg.locality_equals = localities[begin] * hmin;
     cfg.locality_le = true;  // Pareto frontier: best throughput with at most L
     SymmetricArcDesign design(torus, cfg);
-    const DesignResult res = design.solve(opts);
-    out[i].locality = localities[i];
-    out[i].status = res.status;
-    out[i].note = res.note;
-    out[i].certificate = res.certificate;
-    if (res.status == lp::Status::Optimal && res.objective > 0.0) {
-      out[i].capacity_fraction = ideal / res.objective;
+    lp::Basis warm;
+    for (int i = begin; i < end; ++i) {
+      if (i > begin) design.set_locality_bound(localities[i] * hmin);
+      DesignResult res = design.solve(
+          opts, sweep_cfg.warm_start && !warm.empty() ? &warm : nullptr);
+      out[i].locality = localities[i];
+      out[i].status = res.status;
+      out[i].note = res.note;
+      out[i].certificate = res.certificate;
+      if (res.status == lp::Status::Optimal && res.objective > 0.0) {
+        out[i].capacity_fraction = ideal / res.objective;
+      }
+      if (sweep_cfg.warm_start) warm = std::move(res.basis);
     }
   };
 
-  const int n = static_cast<int>(localities.size());
-  if (pool != nullptr && pool->size() > 1) {
-    ThreadPool::parallel_for(*pool, n, run_point);
+  // Parallel and serial execution walk the exact same (n, chains) partition,
+  // so the resulting point series is identical either way.
+  if (on_pool && chains > 1) {
+    ThreadPool::parallel_for_blocks(*pool, n, chains, run_chain);
   } else {
-    for (int i = 0; i < n; ++i) run_point(i);
+    for (int b = 0; b < chains; ++b) {
+      const auto [begin, end] = ThreadPool::block_range(n, chains, b);
+      run_chain(begin, end);
+    }
   }
   return out;
 }
@@ -45,16 +68,17 @@ std::vector<TradeoffPoint> sweep(const Torus& torus, DesignObjective objective,
 std::vector<TradeoffPoint> worst_case_tradeoff(const Torus& torus,
                                                const std::vector<double>& localities,
                                                const lp::SimplexOptions& opts,
-                                               ThreadPool* pool) {
-  return sweep(torus, DesignObjective::WorstCase, {}, localities, opts, pool);
+                                               ThreadPool* pool, const SweepConfig& sweep_cfg) {
+  return sweep(torus, DesignObjective::WorstCase, {}, localities, opts, pool, sweep_cfg);
 }
 
 std::vector<TradeoffPoint> average_case_tradeoff(const Torus& torus,
                                                  const std::vector<std::vector<int>>& samples,
                                                  const std::vector<double>& localities,
                                                  const lp::SimplexOptions& opts,
-                                                 ThreadPool* pool) {
-  return sweep(torus, DesignObjective::AverageCase, samples, localities, opts, pool);
+                                                 ThreadPool* pool,
+                                                 const SweepConfig& sweep_cfg) {
+  return sweep(torus, DesignObjective::AverageCase, samples, localities, opts, pool, sweep_cfg);
 }
 
 std::vector<double> locality_grid(double lo, double hi, int n) {

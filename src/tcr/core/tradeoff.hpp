@@ -5,6 +5,7 @@
 // multiple of the minimal average).
 #pragma once
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -14,11 +15,32 @@
 namespace tcr {
 
 struct TradeoffPoint {
-  double locality = 0.0;           // normalized average path length (>= 1)
-  double capacity_fraction = 0.0;  // optimal Theta / capacity at that locality
+  double locality = 0.0;  // normalized average path length (>= 1)
+  /// Optimal Theta / capacity at that locality. NaN when the point was not
+  /// solved to a certified optimum — consumers must mark it unsolved, never
+  /// plot it as zero throughput (obs::Json already renders NaN as null).
+  double capacity_fraction = std::numeric_limits<double>::quiet_NaN();
   lp::Status status = lp::Status::Numerical;
   std::string note;                // solver stop diagnosis when not Optimal
   lp::Certificate certificate;     // independent KKT check of the point's LP
+
+  bool solved() const { return status == lp::Status::Optimal; }
+};
+
+/// How a sweep executes its points.
+struct SweepConfig {
+  /// Reuse each point's simplex basis to warm-start the next point of the
+  /// same chain. Localities are solved in the order given; an ascending grid
+  /// keeps the previous basis primal-feasible under the relaxed <= bound, so
+  /// warm points skip phase 1 entirely (lp.warmstart.* counters tell).
+  bool warm_start = true;
+  /// Number of contiguous chunks the points are partitioned into; each chunk
+  /// shares one incrementally-updated design model and one basis chain.
+  /// 0 -> the pool size when sweeping on a pool, else 1. The partition — and
+  /// therefore every solve's warm-start seed — depends only on
+  /// (points, chains), so parallel and serial sweeps of the same
+  /// configuration produce identical point series.
+  int chains = 0;
 };
 
 /// Worst-case curve (Figure 1): for each normalized locality L, the best
@@ -26,14 +48,16 @@ struct TradeoffPoint {
 std::vector<TradeoffPoint> worst_case_tradeoff(const Torus& torus,
                                                const std::vector<double>& localities,
                                                const lp::SimplexOptions& opts = {},
-                                               ThreadPool* pool = nullptr);
+                                               ThreadPool* pool = nullptr,
+                                               const SweepConfig& sweep = {});
 
 /// Average-case curve (Figure 6) using permutation traffic samples.
 std::vector<TradeoffPoint> average_case_tradeoff(const Torus& torus,
                                                  const std::vector<std::vector<int>>& samples,
                                                  const std::vector<double>& localities,
                                                  const lp::SimplexOptions& opts = {},
-                                                 ThreadPool* pool = nullptr);
+                                                 ThreadPool* pool = nullptr,
+                                                 const SweepConfig& sweep = {});
 
 /// Evenly spaced grid of n normalized localities in [lo, hi].
 std::vector<double> locality_grid(double lo, double hi, int n);

@@ -43,11 +43,13 @@ class DenseSimplex {
       if (s1 != Status::Optimal) {
         sol.status = s1;
         sol.iterations = iters;
+        export_basis(sol);
         return sol;
       }
       if (phase_objective(sf_.cost1) > 1e-7) {
         sol.status = Status::Infeasible;
         sol.iterations = iters;
+        export_basis(sol);
         return sol;
       }
     }
@@ -56,8 +58,8 @@ class DenseSimplex {
     const Status s2 = optimize(sf_.cost, iters);
     sol.iterations = iters;
     sol.status = s2;
-    if (s2 != Status::Optimal) return sol;
-    extract(sol);
+    if (s2 == Status::Optimal) extract(sol);
+    export_basis(sol);
     return sol;
   }
 
@@ -203,6 +205,11 @@ class DenseSimplex {
     }
   }
 
+  void export_basis(Solution& sol) const {
+    sol.basis.stat.assign(stat_.begin(), stat_.end());
+    sol.basis.basic = basic_;
+  }
+
   void extract(Solution& sol) const {
     std::vector<double> x(static_cast<std::size_t>(n_), 0.0);
     for (int j = 0; j < n_; ++j)
@@ -241,8 +248,10 @@ class DenseSimplex {
 
 }  // namespace
 
-Solution solve_dense(const Model& model, const DenseSimplexOptions& options) {
+Solution solve_dense(const Model& model, const DenseSimplexOptions& options,
+                     const Basis* warm) {
   TCR_REQUIRE(model.num_rows() > 0 || model.num_cols() > 0, "empty model");
+  (void)warm;  // the oracle always cold-starts; see the header
   auto sf = detail::build_standard_form(model);
   DenseSimplex simplex(sf, options);
   return simplex.run();

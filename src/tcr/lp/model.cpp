@@ -56,6 +56,12 @@ void Model::set_cost(int col, double cost) {
   cost_[col] = cost;
 }
 
+void Model::set_rhs(int row, double rhs) {
+  TCR_REQUIRE(row >= 0 && row < num_rows(), "row index out of range");
+  TCR_REQUIRE(std::isfinite(rhs), "row rhs must be finite");
+  rhs_[row] = rhs;
+}
+
 double Model::objective_value(const std::vector<double>& x) const {
   TCR_REQUIRE(static_cast<int>(x.size()) == num_cols(), "assignment size mismatch");
   double obj = 0.0;

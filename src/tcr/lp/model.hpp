@@ -9,6 +9,7 @@
 // variants) are expressed; see tcr/core/.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
@@ -59,6 +60,31 @@ struct Certificate {
   std::string summary() const;
 };
 
+/// Simplex basis snapshot in *standard-form* column space (structural
+/// columns first, then the slack/artificial columns the solver appends).
+/// Exported on every Solution and accepted back by lp::solve() as a warm
+/// start. A basis is only meaningful for a model whose standard form has the
+/// same dimensions as the one that produced it; lp::solve() validates the
+/// supplied basis, repairs singular ones against the crash basis, and falls
+/// back to a cold start when the basis cannot be salvaged (see
+/// lp.warmstart.* obs counters).
+struct Basis {
+  /// Per standard-form column: 0 = basic, 1 = at lower bound, 2 = at upper
+  /// bound, 3 = free at zero (matches lp::detail::VarStatus).
+  std::vector<std::uint8_t> stat;
+  /// Basic column per row (size = number of rows).
+  std::vector<int> basic;
+  /// Optional caller hint: rows whose rhs/bounds were edited after this
+  /// basis was exported (a parametric sweep knows exactly which constraint
+  /// it moved). The warm-start repair tries these rows' slack/artificial
+  /// columns first when the basis comes back primal-infeasible, which turns
+  /// the repair into a single targeted pivot instead of a search. Solvers
+  /// export this empty; out-of-range entries are ignored.
+  std::vector<int> edited_rows;
+
+  bool empty() const { return basic.empty(); }
+};
+
 struct Solution {
   Status status = Status::Numerical;
   double objective = 0.0;
@@ -75,6 +101,9 @@ struct Solution {
   /// Filled by lp::solve() when SimplexOptions::certify is on and the solve
   /// reached Status::Optimal; default (checked == false) otherwise.
   Certificate certificate;
+  /// Final simplex basis, exported on every outcome (including failures, so
+  /// the recovery ladder and sweep chaining can restart from it).
+  Basis basis;
 
   bool optimal() const { return status == Status::Optimal; }
 };
@@ -97,6 +126,11 @@ class Model {
   Sense sense() const { return sense_; }
 
   void set_cost(int col, double cost);
+
+  /// Rewrite a row's right-hand side in place. The row keeps its type and
+  /// coefficients; incremental sweeps use this to move one bound between
+  /// otherwise identical solves (see SymmetricArcDesign::set_locality_bound).
+  void set_rhs(int row, double rhs);
 
   int num_cols() const { return static_cast<int>(lo_.size()); }
   int num_rows() const { return static_cast<int>(rhs_.size()); }

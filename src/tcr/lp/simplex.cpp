@@ -35,6 +35,18 @@ struct SimplexMetrics {
       obs::Registry::instance().counter("lp.simplex.bland_activations");
   obs::Counter& bound_flips = obs::Registry::instance().counter("lp.simplex.bound_flips");
   obs::Counter& retries = obs::Registry::instance().counter("lp.simplex.numerical_retries");
+  // Warm-start outcomes: a supplied basis was adopted unchanged (accepted),
+  // adopted after patching — status fixes, singular or out-of-bound
+  // positions swapped back to crash columns — (repaired), or thrown away
+  // for a cold start (rejected). phase1_skipped counts solves where the
+  // adopted basis was primal-feasible on a model that would otherwise have
+  // needed phase 1; a repaired basis whose leftover load sits on basic
+  // artificials still runs phase 1, warm, and is not counted there.
+  obs::Counter& warm_accepted = obs::Registry::instance().counter("lp.warmstart.accepted");
+  obs::Counter& warm_repaired = obs::Registry::instance().counter("lp.warmstart.repaired");
+  obs::Counter& warm_rejected = obs::Registry::instance().counter("lp.warmstart.rejected");
+  obs::Counter& warm_phase1_skipped =
+      obs::Registry::instance().counter("lp.warmstart.phase1_skipped");
   // Eta-file length at each refactorization and LU factor fill-in (nonzeros).
   obs::Histogram& eta_length =
       obs::Registry::instance().histogram("lp.simplex.eta_length", 1.0, 2.0);
@@ -94,9 +106,10 @@ struct Eta {
 
 class RevisedSimplex {
  public:
-  RevisedSimplex(StandardForm sf, const SimplexOptions& opt)
+  RevisedSimplex(StandardForm sf, const SimplexOptions& opt, const Basis* warm = nullptr)
       : sf_(std::move(sf)),
         opt_(opt),
+        warm_(warm),
         m_(sf_.m),
         n_(sf_.ntotal),
         a_(sf_.m, sf_.ntotal, sf_.triplets),
@@ -113,32 +126,44 @@ class RevisedSimplex {
     obs::ScopedTimer total(met_.t_total);
     met_.solves.add(1);
     Solution sol;
-    if (!refactorize()) {
+    WarmAdopt warm = WarmAdopt::kRejected;
+    if (warm_ != nullptr && !warm_->empty()) warm = apply_warm(*warm_);
+    if (warm == WarmAdopt::kRejected && !refactorize()) {
       sol.status = Status::Numerical;
       finish(sol);
       return sol;
     }
 
     if (sf_.need_phase1) {
-      Status s1;
-      {
-        obs::ScopedTimer t(met_.t_phase1);
-        s1 = optimize(sf_.cost1, /*phase1=*/true);
-      }
-      sol.phase1_iterations = iters_;
-      met_.phase1_iterations.add(iters_);
-      if (s1 != Status::Optimal) {
-        sol.status = (s1 == Status::Unbounded) ? Status::Numerical : s1;
-        sol.iterations = iters_;
-        finish(sol);
-        return sol;
-      }
-      phase1_residual_ = objective_of(sf_.cost1);
-      if (phase1_residual_ > 10 * opt_.feas_tol * (1 + m_ * 0.01)) {
-        sol.status = Status::Infeasible;
-        sol.iterations = iters_;
-        finish(sol);
-        return sol;
+      if (warm == WarmAdopt::kFeasible) {
+        // The adopted basis represents a primal-feasible point, so phase 1
+        // has nothing left to do: go straight to optimizing the true costs.
+        met_.warm_phase1_skipped.add(1);
+      } else {
+        // Cold crash basis, or a repaired warm basis whose residual
+        // infeasibility sits entirely on basic artificials (kPhase1): either
+        // way phase 1 starts from the current basis and drives the
+        // artificial load to zero.
+        Status s1;
+        {
+          obs::ScopedTimer t(met_.t_phase1);
+          s1 = optimize(sf_.cost1, /*phase1=*/true);
+        }
+        sol.phase1_iterations = iters_;
+        met_.phase1_iterations.add(iters_);
+        if (s1 != Status::Optimal) {
+          sol.status = (s1 == Status::Unbounded) ? Status::Numerical : s1;
+          sol.iterations = iters_;
+          finish(sol);
+          return sol;
+        }
+        phase1_residual_ = objective_of(sf_.cost1);
+        if (phase1_residual_ > 10 * opt_.feas_tol * (1 + m_ * 0.01)) {
+          sol.status = Status::Infeasible;
+          sol.iterations = iters_;
+          finish(sol);
+          return sol;
+        }
       }
     }
 
@@ -181,10 +206,12 @@ class RevisedSimplex {
  private:
   // ---- instrumentation -------------------------------------------------
 
-  // Final per-solve bookkeeping: registry counters and the human-readable
-  // stop note for non-optimal outcomes.
+  // Final per-solve bookkeeping: registry counters, the exported basis, and
+  // the human-readable stop note for non-optimal outcomes.
   void finish(Solution& sol) {
     met_.iterations.add(iters_);
+    sol.basis.stat.assign(stat_.begin(), stat_.end());
+    sol.basis.basic = basic_;
     switch (sol.status) {
       case Status::Optimal:
         break;
@@ -207,6 +234,355 @@ class RevisedSimplex {
                    std::to_string(refactor_count_) + " refactorizations";
         break;
     }
+  }
+
+  // ---- warm start ------------------------------------------------------
+
+  // Nonbasic status a column falls back to when a warm basis cannot keep it
+  // where it was: the crash rule (bound nearest zero; free only when both
+  // bounds are infinite).
+  VarStatus default_nonbasic(int j) const {
+    const bool lo_fin = std::isfinite(sf_.lo[j]);
+    const bool up_fin = std::isfinite(sf_.up[j]);
+    if (lo_fin && up_fin)
+      return std::abs(sf_.lo[j]) <= std::abs(sf_.up[j]) ? kAtLower : kAtUpper;
+    if (lo_fin) return kAtLower;
+    if (up_fin) return kAtUpper;
+    return kFree;
+  }
+
+  void restore_crash_basis() {
+    stat_ = sf_.stat0;
+    basic_ = sf_.basis0;
+    pos_of_col_.assign(n_, -1);
+    for (int i = 0; i < m_; ++i) pos_of_col_[basic_[i]] = i;
+  }
+
+  // Outcome of adopting a warm basis. kFeasible: the basis is factorized and
+  // represents a primal-feasible point, so phase 1 can be skipped. kPhase1:
+  // the basis is factorized and every basic variable respects its phase-1
+  // bounds, but some basic artificial carries load — phase 1 must run, from
+  // this basis rather than the crash basis. kRejected: the crash basis was
+  // restored and the caller cold-starts.
+  enum class WarmAdopt { kRejected, kFeasible, kPhase1 };
+
+  // Install a caller-supplied basis, repairing what can be repaired:
+  // out-of-range statuses are re-derived, singular positions and
+  // out-of-bound *basic* variables (which phase 1's artificial framework
+  // cannot express) are patched back to their rows' crash columns. After a
+  // sweep relaxes one rhs entry, a previously binding row's slack stays
+  // nonbasic and the recomputed basics absorb the whole delta — the patch
+  // hands that delta to the row's slack or artificial instead, which keeps
+  // the rest of the basis and leaves at most a short phase 1.
+  WarmAdopt apply_warm(const Basis& warm) {
+    if (static_cast<int>(warm.basic.size()) != m_ ||
+        static_cast<int>(warm.stat.size()) != n_) {
+      met_.warm_rejected.add(1);
+      return WarmAdopt::kRejected;
+    }
+    bool patched = false;
+
+    // Sanitize statuses against this model's bounds: a stale basis may pin a
+    // column to a bound that no longer exists (or encode an out-of-range
+    // status byte). Nonbasic artificials always come back at zero — a prior
+    // solve leaves them against a pinned upper bound of 0, which this fresh
+    // standard form does not have yet, so kAtUpper would mean a nonzero
+    // artificial.
+    std::vector<VarStatus> stat(static_cast<std::size_t>(n_));
+    for (int j = 0; j < n_; ++j) {
+      VarStatus s;
+      if (warm.stat[j] > static_cast<std::uint8_t>(kFree)) {
+        s = default_nonbasic(j);
+        patched = true;
+      } else {
+        s = static_cast<VarStatus>(warm.stat[j]);
+      }
+      if (s != kBasic) {
+        if (sf_.artificial[j]) {
+          s = kAtLower;
+        } else if ((s == kAtLower && !std::isfinite(sf_.lo[j])) ||
+                   (s == kAtUpper && !std::isfinite(sf_.up[j])) ||
+                   (s == kFree &&
+                    (std::isfinite(sf_.lo[j]) || std::isfinite(sf_.up[j])))) {
+          s = default_nonbasic(j);
+          patched = true;
+        }
+      }
+      stat[j] = s;
+    }
+
+    // Validate the basic list: in range, duplicate-free, consistent with the
+    // statuses (the basic list wins; stray kBasic statuses are demoted).
+    std::vector<int> pos(static_cast<std::size_t>(n_), -1);
+    for (int i = 0; i < m_; ++i) {
+      const int b = warm.basic[i];
+      if (b < 0 || b >= n_ || pos[b] != -1) {
+        met_.warm_rejected.add(1);
+        return WarmAdopt::kRejected;
+      }
+      pos[b] = i;
+      if (stat[b] != kBasic) {
+        stat[b] = kBasic;
+        patched = true;
+      }
+    }
+    for (int j = 0; j < n_; ++j) {
+      if (stat[j] == kBasic && pos[j] == -1) {
+        stat[j] = default_nonbasic(j);
+        patched = true;
+      }
+    }
+
+    stat_ = std::move(stat);
+    basic_ = warm.basic;
+    pos_of_col_ = std::move(pos);
+
+    // Patch position i back to its crash-basis column (the row's slack or
+    // artificial), demoting the current occupant to its crash-rule bound.
+    // Fails when the position already holds the crash column or the crash
+    // column is basic elsewhere — then the basis is beyond cheap repair.
+    auto patch_to_crash = [&](int i) {
+      const int crash = sf_.basis0[i];
+      if (basic_[i] == crash || pos_of_col_[crash] != -1) return false;
+      const int out = basic_[i];
+      stat_[out] = default_nonbasic(out);
+      pos_of_col_[out] = -1;
+      basic_[i] = crash;
+      stat_[crash] = kBasic;
+      pos_of_col_[crash] = i;
+      return true;
+    };
+
+    if (!refactorize()) {
+      // Singular: patch each unpivotable position and try once more.
+      patched = true;
+      bool repairable = true;
+      for (int i : lu_.deficient_positions()) {
+        if (!patch_to_crash(i)) {
+          repairable = false;
+          break;
+        }
+      }
+      if (!repairable || !refactorize()) {
+        restore_crash_basis();
+        met_.warm_rejected.add(1);
+        return WarmAdopt::kRejected;
+      }
+    }
+
+    // Caller hint: rows whose rhs changed since the basis was exported.
+    // Their aux columns are the first reentry candidates (out-of-range
+    // entries from a stale or hand-built basis are dropped here).
+    std::vector<int> hint_rows;
+    for (const int r : warm.edited_rows) {
+      if (r >= 0 && r < m_) hint_rows.push_back(r);
+    }
+
+    // Primal-feasibility check with repair. Each round classifies the basic
+    // values and, when some are out of bounds, tries two mechanisms in
+    // order: a reentry pivot (the cure when a sweep edited one rhs entry —
+    // see reentry_pivot()), then patching each offender back to its crash
+    // column. Both strictly change the basis, so the round cap bounds the
+    // cost of a hopeless basis. Load on basic artificials is left alone
+    // when phase 1 will run — that is exactly what phase 1 minimizes.
+    for (int round = 0; round < 8; ++round) {
+      std::vector<int> bad;
+      bool artificial_load = false;
+      for (int i = 0; i < m_; ++i) {
+        const int j = basic_[i];
+        if (sf_.artificial[j]) {
+          // Build-time artificial bounds are [0, inf); the sign of the
+          // residual is folded into the column, so negative load is a bound
+          // violation while positive load is phase-1 work (unless this model
+          // never runs phase 1, in which case it must be patched out too).
+          if (xb_[i] < -opt_.feas_tol || (xb_[i] > opt_.feas_tol && !sf_.need_phase1)) {
+            bad.push_back(i);
+          } else if (xb_[i] > opt_.feas_tol) {
+            artificial_load = true;
+          }
+        } else if (xb_[i] < sf_.lo[j] - opt_.feas_tol ||
+                   xb_[i] > sf_.up[j] + opt_.feas_tol) {
+          bad.push_back(i);
+        }
+      }
+      if (bad.empty()) {
+        (patched ? met_.warm_repaired : met_.warm_accepted).add(1);
+        return artificial_load ? WarmAdopt::kPhase1 : WarmAdopt::kFeasible;
+      }
+      patched = true;
+      if (reentry_pivot(bad, hint_rows)) continue;
+      bool repairable = true;
+      for (int i : bad) {
+        if (!patch_to_crash(i)) {
+          repairable = false;
+          break;
+        }
+      }
+      if (!repairable || !refactorize()) break;
+    }
+    restore_crash_basis();
+    met_.warm_rejected.add(1);
+    return WarmAdopt::kRejected;
+  }
+
+  // A sweep that edits one rhs entry leaves the edited row's aux column
+  // (slack or artificial) nonbasic whenever that row was binding, so the
+  // recomputed basics absorb the whole rhs delta and some land outside
+  // their bounds. The cure is a single pivot: re-enter the aux column at
+  // the value that returns the most violated basic to its bound, restoring
+  // the rest of the basis values in the same stroke. Candidates come from
+  // two sources, tried in order:
+  //   1. hint_rows — the caller said which rows it edited (Basis::
+  //      edited_rows), so their aux columns are tried directly;
+  //   2. a probe screen — without a hint, btran a few violated positions
+  //      (rows of B^-1) and keep the nonbasic aux columns whose single
+  //      coefficient moves every probe back toward its bound. |rho| alone
+  //      is no signal (an unrelated row can couple strongly to one
+  //      position while pushing another the wrong way), so the curing-sign
+  //      test on all probes is what thins the field.
+  // Returns true after committing a swap and refactorizing; the basis
+  // arrays stay consistent on failure so the caller can fall back.
+  bool reentry_pivot(const std::vector<int>& bad, const std::vector<int>& hint_rows) {
+    std::vector<double> col(static_cast<std::size_t>(m_)), w;
+
+    // Full test for entering column s: raising s from its bound by t moves
+    // basic i to xb_[i] - t * w[i]. Every violated basic must cross back
+    // inside (t_lo), no in-bounds basic may exit (t_hi), and the rhs delta
+    // that caused the violations lies in [t_lo, t_hi] when s is the edited
+    // row's aux column. Take t = t_lo: the position defining it lands
+    // exactly on its bound and leaves the basis there. Returns 1 when the
+    // pivot was committed and refactorized, 0 when committed but the new
+    // basis failed to factor, -1 when s is not a consistent cure.
+    auto attempt = [&](int s) -> int {
+      col.assign(static_cast<std::size_t>(m_), 0.0);
+      a_.add_column_to(s, 1.0, col);
+      ftran(col, w);
+
+      double t_lo = 0.0, t_hi = sf_.up[s] - nonbasic_value(s);
+      int leave = -1;
+      bool leave_below = true;
+      bool viable = true;
+      for (int i = 0; viable && i < m_; ++i) {
+        const int j = basic_[i];
+        const double lo = sf_.lo[j];
+        const double up = sf_.artificial[j] && !sf_.need_phase1 ? 0.0
+                          : sf_.artificial[j]                   ? kInf
+                                                                : sf_.up[j];
+        if (xb_[i] < lo - opt_.feas_tol) {
+          if (w[i] >= -1e-12) {
+            viable = false;  // this direction cannot lift i back to lo
+          } else {
+            const double need = (xb_[i] - lo) / w[i];
+            if (need > t_lo) {
+              t_lo = need;
+              leave = i;
+              leave_below = true;
+            }
+            if (std::isfinite(up)) t_hi = std::min(t_hi, (xb_[i] - up - opt_.feas_tol) / w[i]);
+          }
+        } else if (xb_[i] > up + opt_.feas_tol) {
+          if (w[i] <= 1e-12) {
+            viable = false;
+          } else {
+            const double need = (xb_[i] - up) / w[i];
+            if (need > t_lo) {
+              t_lo = need;
+              leave = i;
+              leave_below = false;
+            }
+            if (std::isfinite(lo)) t_hi = std::min(t_hi, (xb_[i] - lo + opt_.feas_tol) / w[i]);
+          }
+        } else if (w[i] > 1e-9) {
+          // Exit through the lower bound; like the Harris ratio test, the
+          // bound is expanded by feas_tol, so a degenerate basic sitting on
+          // it with a tiny pivot does not spuriously block the step.
+          if (std::isfinite(lo)) t_hi = std::min(t_hi, (xb_[i] - lo + opt_.feas_tol) / w[i]);
+        } else if (w[i] < -1e-9) {
+          if (std::isfinite(up)) t_hi = std::min(t_hi, (xb_[i] - up - opt_.feas_tol) / w[i]);
+        }
+      }
+      if (!viable || leave < 0 || t_lo > t_hi + opt_.feas_tol) return -1;
+      if (sf_.artificial[s] && !sf_.need_phase1 && t_lo > opt_.feas_tol) return -1;
+
+      const int out = basic_[leave];
+      stat_[out] = sf_.artificial[out] || leave_below ? kAtLower : kAtUpper;
+      pos_of_col_[out] = -1;
+      basic_[leave] = s;
+      stat_[s] = kBasic;
+      pos_of_col_[s] = leave;
+      return refactorize() ? 1 : 0;
+    };
+
+    // Aux columns have exactly one matrix entry, so a triplet scan yields
+    // each one once with its row. Hinted rows first (slack beats
+    // artificial: entering the slack leaves no phase-1 load).
+    struct Cand {
+      int col, row;
+      double coeff;
+    };
+    if (!hint_rows.empty()) {
+      std::vector<Cand> hinted;
+      for (const auto& t : sf_.triplets) {
+        if (t.col < sf_.nstruct || stat_[t.col] == kBasic) continue;
+        if (sf_.artificial[t.col] && !sf_.need_phase1) continue;
+        for (const int r : hint_rows) {
+          if (t.row == r) {
+            hinted.push_back({t.col, t.row, t.value});
+            break;
+          }
+        }
+      }
+      std::sort(hinted.begin(), hinted.end(), [&](const Cand& x, const Cand& y) {
+        if (sf_.artificial[x.col] != sf_.artificial[y.col]) return !sf_.artificial[x.col];
+        return x.col < y.col;
+      });
+      for (const Cand& c : hinted) {
+        const int r = attempt(c.col);
+        if (r >= 0) return r == 1;
+      }
+    }
+
+    // No hint (or the hinted columns were not a consistent cure): probe a
+    // handful of violated positions, spread across the list. Each btran
+    // yields that row of B^-1, giving every candidate's influence
+    // w[probe] = coeff * rho[row] without an ftran.
+    const int nb = static_cast<int>(bad.size());
+    const int np = std::min(nb, 8);
+    std::vector<std::vector<double>> rhos(static_cast<std::size_t>(np));
+    std::vector<char> probe_below(static_cast<std::size_t>(np));
+    std::vector<double> er(static_cast<std::size_t>(m_), 0.0);
+    for (int k = 0; k < np; ++k) {
+      const int i = bad[static_cast<std::size_t>(k) * nb / np];
+      probe_below[k] = xb_[i] < sf_.lo[basic_[i]] ? 1 : 0;
+      er[i] = 1.0;
+      btran(er, rhos[k]);
+      er[i] = 0.0;
+    }
+
+    std::vector<Cand> cands;
+    for (const auto& t : sf_.triplets) {
+      if (t.col < sf_.nstruct || stat_[t.col] == kBasic) continue;
+      if (sf_.artificial[t.col] && !sf_.need_phase1) continue;
+      bool cures = true;
+      for (int k = 0; cures && k < np; ++k) {
+        const double wk = t.value * rhos[k][t.row];
+        cures = probe_below[k] ? wk < -1e-9 : wk > 1e-9;
+      }
+      if (cures) cands.push_back({t.col, t.row, t.value});
+    }
+    std::sort(cands.begin(), cands.end(), [&](const Cand& x, const Cand& y) {
+      if (sf_.artificial[x.col] != sf_.artificial[y.col]) return !sf_.artificial[x.col];
+      const double rx = std::abs(rhos[0][x.row]), ry = std::abs(rhos[0][y.row]);
+      if (rx != ry) return rx > ry;
+      return x.col < y.col;
+    });
+
+    const int tries = std::min(static_cast<int>(cands.size()), 8);
+    for (int c = 0; c < tries; ++c) {
+      const int r = attempt(cands[c].col);
+      if (r >= 0) return r == 1;
+    }
+    return false;
   }
 
   // ---- basis linear algebra -------------------------------------------
@@ -567,6 +943,7 @@ class RevisedSimplex {
 
   StandardForm sf_;
   SimplexOptions opt_;
+  const Basis* warm_ = nullptr;
   int m_, n_;
   SparseMatrix a_;
   Rng rng_;
@@ -592,15 +969,15 @@ class RevisedSimplex {
 
 }  // namespace
 
-Solution solve(const Model& model, const SimplexOptions& options) {
+Solution solve(const Model& model, const SimplexOptions& options, const Basis* warm) {
   TCR_REQUIRE(model.num_cols() > 0, "model has no variables");
 
   const CertifyOptions cert_opts = CertifyOptions::from_solver_tols(
       options.feas_tol, options.opt_tol, options.certify_tol_factor);
 
-  auto run_attempt = [](const Model& mdl, const SimplexOptions& o) {
+  auto run_attempt = [](const Model& mdl, const SimplexOptions& o, const Basis* w) {
     auto sf = detail::build_standard_form(mdl);
-    RevisedSimplex simplex(std::move(sf), o);
+    RevisedSimplex simplex(std::move(sf), o, w);
     return simplex.run();
   };
 
@@ -626,13 +1003,19 @@ Solution solve(const Model& model, const SimplexOptions& options) {
     return d;
   };
 
-  Solution best = run_attempt(model, options);
+  Solution best = run_attempt(model, options, warm);
   if (accept(best)) return best;
 
   // ---- staged recovery ladder ----
   auto& met = SimplexMetrics::get();
   auto& rec = RecoveryMetrics::get();
   std::string history = "first attempt: " + describe(best);
+
+  // Each sparse retry restarts from the previous attempt's exported basis:
+  // even a failed attempt usually leaves the basis far closer to optimal
+  // than the crash start, and apply_warm() repairs or rejects anything
+  // unusable. The dense stage stays cold — its value is independence.
+  Basis chain = best.basis;
 
   // Keep the most defensible attempt for the exhausted case: an optimal
   // point with a failing certificate beats a breakdown, and among failed
@@ -666,18 +1049,20 @@ Solution solve(const Model& model, const SimplexOptions& options) {
         SimplexOptions o = options;
         o.seed = options.seed * 2654435761ULL + 17;
         o.perturb = !options.perturb;
-        cand = run_attempt(model, o);
+        cand = run_attempt(model, o, &chain);
         break;
       }
       case kEquilibrate: {
         // Solve the geometric-mean-equilibrated model and map the solution
         // back; the power-of-two factors make the transform exact.
         if (!options.recover_equilibrate) continue;
+        // The basis transfers: power-of-two scaling keeps the standard-form
+        // shape, bound finiteness and basis nonsingularity intact.
         const Scaling s = geometric_mean_scaling(model);
         const Model scaled = apply_scaling(model, s);
         SimplexOptions o = options;
         o.seed = options.seed ^ 0x9e3779b97f4a7c15ULL;
-        cand = run_attempt(scaled, o);
+        cand = run_attempt(scaled, o, &chain);
         unscale_solution(model, s, cand);
         break;
       }
@@ -690,7 +1075,7 @@ Solution solve(const Model& model, const SimplexOptions& options) {
         o.bland_after = 1;
         o.perturb = false;
         o.seed = options.seed * 6364136223846793005ULL + 1442695040888963407ULL;
-        cand = run_attempt(model, o);
+        cand = run_attempt(model, o, &chain);
         break;
       }
       case kDense: {
@@ -713,6 +1098,7 @@ Solution solve(const Model& model, const SimplexOptions& options) {
       return cand;
     }
     history += std::string("; ") + names[stage] + ": " + describe(cand);
+    chain = cand.basis;
     keep_better(cand);
   }
 

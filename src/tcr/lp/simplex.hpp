@@ -58,6 +58,17 @@ struct SimplexOptions {
 /// more conservative settings (see SimplexOptions). The returned Solution
 /// carries the certificate of the accepted attempt; if every stage fails the
 /// first attempt's result is returned with a note recording the ladder.
-Solution solve(const Model& model, const SimplexOptions& options = {});
+///
+/// `warm` optionally supplies a starting basis (typically the previous
+/// Solution::basis of a near-identical model in a sweep). The basis is
+/// validated against the model's standard form: a dimension-mismatched or
+/// inconsistent basis is rejected (cold start), a singular one is repaired
+/// by patching the unpivotable positions back to the crash basis, and a
+/// basis whose point is primal-feasible skips phase 1 entirely. Outcomes are
+/// counted in the lp.warmstart.{accepted,repaired,rejected,phase1_skipped}
+/// obs counters. The reseed/equilibrate/careful recovery stages restart from
+/// the failed attempt's exported basis rather than from scratch.
+Solution solve(const Model& model, const SimplexOptions& options = {},
+               const Basis* warm = nullptr);
 
 }  // namespace tcr::lp

@@ -24,18 +24,27 @@ TrafficMatrix birkhoff_sample(Rng& rng, int n, int num_permutations) {
   return t;
 }
 
-TrafficMatrix sinkhorn_sample(Rng& rng, int n, int iterations) {
+TrafficMatrix sinkhorn_sample(Rng& rng, int n, int max_iterations, double tol) {
+  TCR_REQUIRE(max_iterations >= 1, "need at least one Sinkhorn iteration");
+  TCR_REQUIRE(tol > 0.0, "Sinkhorn tolerance must be positive");
   TrafficMatrix t(n, n);
   for (int i = 0; i < n; ++i)
     for (int j = 0; j < n; ++j) t(i, j) = -std::log(1.0 - rng.uniform());
-  for (int it = 0; it < iterations; ++it) {
+  for (int it = 0; it < max_iterations; ++it) {
     auto rs = t.row_sums();
     for (int i = 0; i < n; ++i)
       for (int j = 0; j < n; ++j) t(i, j) /= rs[i];
     auto cs = t.col_sums();
     for (int i = 0; i < n; ++i)
       for (int j = 0; j < n; ++j) t(i, j) /= cs[j];
+    if (doubly_stochastic_error(t) <= tol) break;
   }
+  // After a column normalization the column sums are exactly 1; a final
+  // exact row normalization makes the row sums 1 to rounding while moving
+  // each column sum by no more than the converged error.
+  auto rs = t.row_sums();
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) t(i, j) /= rs[i];
   return t;
 }
 

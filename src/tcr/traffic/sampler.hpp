@@ -21,7 +21,11 @@ namespace tcr {
 
 TrafficMatrix birkhoff_sample(Rng& rng, int n, int num_permutations);
 
-TrafficMatrix sinkhorn_sample(Rng& rng, int n, int iterations = 60);
+/// Iterates row/column normalization until the worst row/column-sum error
+/// drops below `tol` (or `max_iterations` passes, whichever first), then
+/// exactly normalizes each row so row sums are 1 to rounding and column sums
+/// are off by at most the achieved tolerance.
+TrafficMatrix sinkhorn_sample(Rng& rng, int n, int max_iterations = 500, double tol = 1e-11);
 
 /// A batch of samples; kind = "perm" (J=1), "birkhoff4" (J=4) or "sinkhorn".
 std::vector<TrafficMatrix> sample_traffic_set(Rng& rng, int n, int count,

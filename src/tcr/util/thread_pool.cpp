@@ -55,13 +55,26 @@ void ThreadPool::parallel_for(ThreadPool& pool, int n, const std::function<void(
     }
   };
 
+  if (n <= 0) return;
   std::vector<std::future<void>> futures;
   const std::size_t workers = std::min<std::size_t>(pool.size(), static_cast<std::size_t>(n));
-  futures.reserve(workers);
+  // The calling thread runs one chunk itself, so only workers - 1 futures.
+  futures.reserve(workers - 1);
   for (std::size_t w = 0; w + 1 < workers; ++w) futures.push_back(pool.submit(chunk));
-  chunk();  // The calling thread participates too.
+  chunk();
   for (auto& f : futures) f.get();
   if (failed && first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::parallel_for_blocks(ThreadPool& pool, int n, int blocks,
+                                     const std::function<void(int, int)>& body) {
+  if (n <= 0) return;
+  if (blocks <= 0) blocks = static_cast<int>(pool.size());
+  blocks = std::min(blocks, n);
+  parallel_for(pool, blocks, [&](int b) {
+    const auto [begin, end] = block_range(n, blocks, b);
+    body(begin, end);
+  });
 }
 
 }  // namespace tcr

@@ -12,6 +12,7 @@
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace tcr {
@@ -42,8 +43,29 @@ class ThreadPool {
   }
 
   /// Run body(i) for i in [0, n), distributing across the pool; blocks until
-  /// all iterations finish. Exceptions from the body are rethrown (first one).
+  /// all iterations finish. Fail-fast: after any body throws, iterations not
+  /// yet started are abandoned (in-flight ones run to completion), and the
+  /// first exception thrown is rethrown to the caller once every worker has
+  /// stopped. Which iterations were abandoned is scheduling-dependent.
   static void parallel_for(ThreadPool& pool, int n, const std::function<void(int)>& body);
+
+  /// Partition [0, n) into `blocks` contiguous ranges (sizes differing by at
+  /// most one) and run body(begin, end) once per range, distributing ranges
+  /// across the pool. The partition depends only on (n, blocks) — never on
+  /// pool size or scheduling — so sequential work *within* a block (e.g.
+  /// warm-start chaining across a sweep's points) is deterministic.
+  /// blocks <= 0 defaults to the pool size. Same fail-fast semantics as
+  /// parallel_for.
+  static void parallel_for_blocks(ThreadPool& pool, int n, int blocks,
+                                  const std::function<void(int begin, int end)>& body);
+
+  /// The contiguous range block `b` of `blocks` covers in [0, n): the same
+  /// partition parallel_for_blocks uses, exposed so serial code can iterate
+  /// identically.
+  static std::pair<int, int> block_range(int n, int blocks, int b) {
+    return {static_cast<int>(static_cast<long>(n) * b / blocks),
+            static_cast<int>(static_cast<long>(n) * (b + 1) / blocks)};
+  }
 
  private:
   void worker_loop();

@@ -12,7 +12,9 @@
 #include <fstream>
 #include <string>
 
+#include "tcr/core/tradeoff.hpp"
 #include "tcr/fault/fault.hpp"
+#include "tcr/graph/torus.hpp"
 #include "tcr/lp/certify.hpp"
 #include "tcr/lp/simplex.hpp"
 #include "tcr/obs/registry.hpp"
@@ -332,6 +334,38 @@ TEST(FaultStress, SeedMatrixSurvivesInjection) {
     }
   }
   EXPECT_EQ(failures, 0);
+}
+
+// Enabled by TCR_FAULT_STRESS=1: a warm-started tradeoff sweep under
+// injected refactorization failures. The warm chain hands each point a basis
+// the previous (possibly recovery-laddered) solve produced, so this
+// exercises warm adoption on top of the fault machinery; every point must
+// still come back with a certified optimum matching a fault-free cold sweep.
+TEST(FaultStress, WarmSweepSurvivesInjection) {
+  const char* enabled = std::getenv("TCR_FAULT_STRESS");
+  if (enabled == nullptr || std::string(enabled) == "0") {
+    GTEST_SKIP() << "set TCR_FAULT_STRESS=1 to run the fault stress matrix";
+  }
+  const Torus torus(4);
+  const std::vector<double> grid = locality_grid(1.0, 2.0, 5);
+  SweepConfig cfg;
+  cfg.warm_start = true;
+  cfg.chains = 1;
+
+  const auto clean = worst_case_tradeoff(torus, grid, {}, nullptr, cfg);
+
+  fault::ScopedSimplexFaults faults;
+  faults.hooks().fail_refactors = 2;
+  const auto faulted = worst_case_tradeoff(torus, grid, {}, nullptr, cfg);
+
+  ASSERT_EQ(faulted.size(), clean.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    ASSERT_TRUE(clean[i].solved()) << "clean point " << i << ": " << clean[i].note;
+    ASSERT_TRUE(faulted[i].solved()) << "faulted point " << i << ": " << faulted[i].note;
+    EXPECT_TRUE(faulted[i].certificate.pass) << faulted[i].certificate.summary();
+    EXPECT_NEAR(faulted[i].capacity_fraction, clean[i].capacity_fraction, 1e-8)
+        << "point " << i;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,303 @@
+// Warm-start contract of lp::solve (ISSUE: warm-started LP sweeps): a
+// supplied basis may cut work but must never change the answer. Every test
+// here compares a warm solve against a cold solve of the same model and
+// demands identical status, matching certified objectives, and sane
+// lp.warmstart.* accounting — including for deliberately stale, singular,
+// and garbage bases. The sweep-level tests pin the chain semantics of
+// SweepConfig: warm and cold sweeps agree to 1e-8 and parallel sweeps are
+// bitwise-identical to serial ones.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "tcr/core/tradeoff.hpp"
+#include "tcr/graph/torus.hpp"
+#include "tcr/lp/certify.hpp"
+#include "tcr/lp/simplex.hpp"
+#include "tcr/obs/registry.hpp"
+#include "tcr/util/rng.hpp"
+#include "tcr/util/thread_pool.hpp"
+
+namespace tcr::lp {
+namespace {
+
+Model random_model(Rng& rng, int rows, int cols) {
+  Model m;
+  m.set_sense(rng.uniform() < 0.5 ? Sense::Minimize : Sense::Maximize);
+  for (int j = 0; j < cols; ++j) {
+    const double r = rng.uniform();
+    double lo = 0.0, up = kInf;
+    if (r < 0.2) {
+      lo = -kInf;  // free
+    } else if (r < 0.4) {
+      up = rng.uniform(0.5, 4.0);  // boxed
+    } else if (r < 0.5) {
+      lo = rng.uniform(-2.0, 0.0);
+      up = lo + rng.uniform(0.0, 3.0);
+    }
+    m.add_col(lo, up, rng.uniform(-3, 3));
+  }
+  for (int i = 0; i < rows; ++i) {
+    const double r = rng.uniform();
+    const RowType type = r < 0.4 ? RowType::LE : (r < 0.7 ? RowType::GE : RowType::EQ);
+    const int row = m.add_row(type, rng.uniform(-4, 4));
+    int terms = 0;
+    for (int j = 0; j < cols; ++j) {
+      if (rng.uniform() < 0.45) {
+        m.add_term(row, j, rng.uniform(-2, 2));
+        ++terms;
+      }
+    }
+    if (terms == 0) m.add_term(row, static_cast<int>(rng.below(cols)), 1.0);
+  }
+  // Keep the feasible set bounded so optima dominate the sweep.
+  const int row = m.add_row(RowType::LE, rng.uniform(10, 30));
+  for (int j = 0; j < cols; ++j) m.add_term(row, j, 1.0);
+  const int row2 = m.add_row(RowType::GE, rng.uniform(-30, -10));
+  for (int j = 0; j < cols; ++j) m.add_term(row2, j, 1.0);
+  return m;
+}
+
+struct WarmCounters {
+  std::int64_t accepted, repaired, rejected, phase1_skipped;
+  static WarmCounters snap() {
+    auto& reg = obs::Registry::instance();
+    return {reg.counter("lp.warmstart.accepted").value(),
+            reg.counter("lp.warmstart.repaired").value(),
+            reg.counter("lp.warmstart.rejected").value(),
+            reg.counter("lp.warmstart.phase1_skipped").value()};
+  }
+  WarmCounters delta_since(const WarmCounters& base) const {
+    return {accepted - base.accepted, repaired - base.repaired, rejected - base.rejected,
+            phase1_skipped - base.phase1_skipped};
+  }
+  std::int64_t adopted() const { return accepted + repaired; }
+};
+
+// Warm and cold must agree on status; on Optimal, objectives must match and
+// both must carry passing certificates. Returns the warm solution.
+Solution expect_warm_matches_cold(const Model& m, const Basis& warm, const SimplexOptions& opt,
+                                  const char* what) {
+  const Solution cold = solve(m, opt);
+  const Solution ws = solve(m, opt, &warm);
+  EXPECT_EQ(ws.status, cold.status) << what;
+  if (cold.status == Status::Optimal) {
+    EXPECT_NEAR(ws.objective, cold.objective, 1e-7 * (1 + std::abs(cold.objective))) << what;
+    EXPECT_TRUE(ws.certificate.ok()) << what << ": " << ws.certificate.summary();
+    const Certificate check = certify(m, ws);
+    EXPECT_TRUE(check.pass) << what << ": " << check.summary();
+  }
+  return ws;
+}
+
+TEST(WarmStart, OwnOptimumIsAdoptedAndMatches) {
+  Rng rng(4242);
+  SimplexOptions opt;
+  int optimal = 0;
+  std::int64_t adopted = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    opt.seed = 9000 + trial;
+    const Model m = random_model(rng, 2 + static_cast<int>(rng.below(10)),
+                                 2 + static_cast<int>(rng.below(12)));
+    const Solution cold = solve(m, opt);
+    if (cold.status != Status::Optimal) continue;
+    ++optimal;
+    ASSERT_FALSE(cold.basis.empty());
+    const WarmCounters before = WarmCounters::snap();
+    const Solution ws = solve(m, opt, &cold.basis);
+    const WarmCounters d = WarmCounters::snap().delta_since(before);
+    ASSERT_EQ(ws.status, Status::Optimal) << "trial " << trial;
+    EXPECT_NEAR(ws.objective, cold.objective, 1e-7 * (1 + std::abs(cold.objective)))
+        << "trial " << trial;
+    EXPECT_TRUE(ws.certificate.ok()) << "trial " << trial << ": " << ws.certificate.summary();
+    EXPECT_EQ(d.adopted() + d.rejected, 1) << "trial " << trial;
+    adopted += d.adopted();
+  }
+  ASSERT_GT(optimal, 20);
+  // A solver's own optimal basis must essentially always be adoptable.
+  EXPECT_GE(adopted, optimal - 2);
+}
+
+TEST(WarmStart, StaleBasisAfterRhsEditMatchesCold) {
+  Rng rng(1717);
+  SimplexOptions opt;
+  int compared = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    opt.seed = 5000 + trial;
+    Model m = random_model(rng, 3 + static_cast<int>(rng.below(9)),
+                           3 + static_cast<int>(rng.below(10)));
+    const Solution base = solve(m, opt);
+    if (base.status != Status::Optimal) continue;
+
+    // Move one rhs entry, annotate the hint the way a sweep would, and
+    // check the stale basis still yields the cold answer.
+    const int row = static_cast<int>(rng.below(m.num_rows()));
+    m.set_rhs(row, m.rhs(row) + rng.uniform(-1.5, 1.5));
+    Basis warm = base.basis;
+    warm.edited_rows.assign(1, row);
+    expect_warm_matches_cold(m, warm, opt, "hinted stale basis");
+    // The hint is optional: the probe screen must cope without it.
+    warm.edited_rows.clear();
+    expect_warm_matches_cold(m, warm, opt, "unhinted stale basis");
+    ++compared;
+  }
+  ASSERT_GT(compared, 20);
+}
+
+TEST(WarmStart, GarbageBasesNeverChangeTheAnswer) {
+  Rng rng(99);
+  SimplexOptions opt;
+  opt.seed = 31;
+  // Draw until a model with a certified optimum shows up (most draws do).
+  Model m;
+  Solution cold;
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    m = random_model(rng, 8, 10);
+    cold = solve(m, opt);
+    if (cold.status == Status::Optimal) break;
+  }
+  ASSERT_EQ(cold.status, Status::Optimal);
+  const int n = static_cast<int>(cold.basis.stat.size());
+  const int rows = static_cast<int>(cold.basis.basic.size());
+
+  {  // Wrong dimensions: must be rejected outright, then solve cold.
+    Basis b;
+    b.stat.assign(3, 0);
+    b.basic.assign(2, 0);
+    const WarmCounters before = WarmCounters::snap();
+    expect_warm_matches_cold(m, b, opt, "wrong dimensions");
+    EXPECT_EQ(WarmCounters::snap().delta_since(before).rejected, 1);
+  }
+  {  // Junk status bytes are re-derived, not trusted.
+    Basis b = cold.basis;
+    for (std::size_t j = 0; j < b.stat.size(); j += 2) b.stat[j] = 207;
+    expect_warm_matches_cold(m, b, opt, "junk status bytes");
+  }
+  {  // Duplicate basic entries: unrecoverable, must fall back cold.
+    Basis b = cold.basis;
+    ASSERT_GE(rows, 2);
+    b.basic[1] = b.basic[0];
+    const WarmCounters before = WarmCounters::snap();
+    expect_warm_matches_cold(m, b, opt, "duplicate basic list");
+    EXPECT_EQ(WarmCounters::snap().delta_since(before).rejected, 1);
+  }
+  {  // Out-of-range basic entries: likewise.
+    Basis b = cold.basis;
+    b.basic[0] = n + 100;
+    const WarmCounters before = WarmCounters::snap();
+    expect_warm_matches_cold(m, b, opt, "out-of-range basic entry");
+    EXPECT_EQ(WarmCounters::snap().delta_since(before).rejected, 1);
+  }
+  {  // Out-of-range edited_rows hints are ignored, not trusted.
+    Basis b = cold.basis;
+    b.edited_rows = {-5, 10000};
+    expect_warm_matches_cold(m, b, opt, "garbage edited_rows hint");
+  }
+}
+
+TEST(WarmStart, SingularBasisIsRepairedOrRejected) {
+  // A structural column with no constraint entries makes any basis that
+  // includes it singular; the repair must patch it out (or reject) and
+  // still reproduce the cold answer.
+  Model m;
+  m.add_col(0.0, kInf, 1.0);
+  m.add_col(0.0, kInf, 2.0);
+  const int zero_col = m.add_col(0.0, 5.0, 0.0);  // never touches a row
+  const int r0 = m.add_row(RowType::GE, 2.0);
+  m.add_term(r0, 0, 1.0);
+  m.add_term(r0, 1, 1.0);
+  const int r1 = m.add_row(RowType::LE, 10.0);
+  m.add_term(r1, 0, 1.0);
+  m.add_term(r1, 1, 3.0);
+  SimplexOptions opt;
+  const Solution cold = solve(m, opt);
+  ASSERT_EQ(cold.status, Status::Optimal);
+
+  Basis b = cold.basis;
+  // Force the zero column basic in place of whatever row-0's basic was.
+  b.stat[static_cast<std::size_t>(b.basic[0])] = 1;  // kAtLower
+  b.basic[0] = zero_col;
+  b.stat[static_cast<std::size_t>(zero_col)] = 0;  // kBasic
+  const WarmCounters before = WarmCounters::snap();
+  expect_warm_matches_cold(m, b, opt, "singular basis");
+  const WarmCounters d = WarmCounters::snap().delta_since(before);
+  EXPECT_EQ(d.repaired + d.rejected, 1);
+}
+
+TEST(WarmStart, SweepChainMatchesColdAndAdoptsBases) {
+  const Torus torus(4);
+  const std::vector<double> grid = locality_grid(1.0, 2.0, 6);
+  SweepConfig warm_cfg;
+  warm_cfg.warm_start = true;
+  warm_cfg.chains = 1;
+  SweepConfig cold_cfg = warm_cfg;
+  cold_cfg.warm_start = false;
+
+  const WarmCounters before = WarmCounters::snap();
+  const auto warm = worst_case_tradeoff(torus, grid, {}, nullptr, warm_cfg);
+  const WarmCounters d = WarmCounters::snap().delta_since(before);
+  const auto cold = worst_case_tradeoff(torus, grid, {}, nullptr, cold_cfg);
+
+  ASSERT_EQ(warm.size(), grid.size());
+  ASSERT_EQ(cold.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    ASSERT_TRUE(warm[i].solved()) << "point " << i << ": " << warm[i].note;
+    ASSERT_TRUE(cold[i].solved()) << "point " << i << ": " << cold[i].note;
+    EXPECT_TRUE(warm[i].certificate.pass) << warm[i].certificate.summary();
+    EXPECT_NEAR(warm[i].capacity_fraction, cold[i].capacity_fraction, 1e-8) << "point " << i;
+  }
+  // Every point after the chain head gets a warm basis, and the sweep is
+  // only worth shipping if those bases are actually adopted.
+  EXPECT_EQ(d.adopted() + d.rejected, static_cast<std::int64_t>(grid.size()) - 1);
+  EXPECT_GT(d.adopted(), 0);
+  EXPECT_GT(d.phase1_skipped, 0);
+}
+
+TEST(WarmStart, ParallelSweepBitwiseMatchesSerial) {
+  const Torus torus(4);
+  const std::vector<double> grid = locality_grid(1.0, 2.0, 7);
+  SweepConfig cfg;
+  cfg.warm_start = true;
+  cfg.chains = 2;  // fixed partition -> identical warm seeds either way
+
+  const auto serial = worst_case_tradeoff(torus, grid, {}, nullptr, cfg);
+  ThreadPool pool(3);
+  const auto parallel = worst_case_tradeoff(torus, grid, {}, &pool, cfg);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].status, parallel[i].status) << "point " << i;
+    // Bitwise: the same chain partition must run the same pivot sequence.
+    EXPECT_EQ(std::memcmp(&serial[i].capacity_fraction, &parallel[i].capacity_fraction,
+                          sizeof(double)),
+              0)
+        << "point " << i << ": " << serial[i].capacity_fraction << " vs "
+        << parallel[i].capacity_fraction;
+    EXPECT_EQ(serial[i].locality, parallel[i].locality) << "point " << i;
+  }
+}
+
+TEST(WarmStart, UnsolvablePointIsNaNAndChainSurvives) {
+  const Torus torus(4);
+  // 0.5 is below the minimal normalized locality of 1.0 -> infeasible; the
+  // rest of the chain must still reach certified optima off a cold restart.
+  const std::vector<double> grid = {0.5, 1.0, 1.5, 2.0};
+  SweepConfig cfg;
+  cfg.warm_start = true;
+  cfg.chains = 1;
+  const auto pts = worst_case_tradeoff(torus, grid, {}, nullptr, cfg);
+  ASSERT_EQ(pts.size(), grid.size());
+  EXPECT_FALSE(pts[0].solved());
+  EXPECT_TRUE(std::isnan(pts[0].capacity_fraction));
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    ASSERT_TRUE(pts[i].solved()) << "point " << i << ": " << pts[i].note;
+    EXPECT_TRUE(pts[i].certificate.pass) << pts[i].certificate.summary();
+    EXPECT_FALSE(std::isnan(pts[i].capacity_fraction));
+  }
+}
+
+}  // namespace
+}  // namespace tcr::lp

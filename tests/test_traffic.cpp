@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
 #include "tcr/traffic/patterns.hpp"
 #include "tcr/traffic/sampler.hpp"
 #include "tcr/traffic/traffic.hpp"
@@ -84,6 +88,23 @@ TEST(Sampler, SinkhornConverges) {
       EXPECT_GT(m(i, j), 0.0);
       EXPECT_LT(m(i, j), 0.9);
     }
+}
+
+TEST(Sampler, SinkhornRowColSumsWithinTightTolerance) {
+  // Regression: the old fixed-iteration Sinkhorn left residuals around 1e-5
+  // on larger matrices. The sampler now iterates to tolerance and finishes
+  // with an exact row normalization, so both sum families must sit at
+  // rounding level for every size and seed.
+  for (const int n : {8, 20, 64, 100}) {
+    for (const std::uint64_t seed : {1ULL, 43ULL, 20260806ULL}) {
+      Rng rng(seed);
+      const auto m = sinkhorn_sample(rng, n);
+      double err = 0.0;
+      for (const double s : m.row_sums()) err = std::max(err, std::abs(s - 1.0));
+      for (const double s : m.col_sums()) err = std::max(err, std::abs(s - 1.0));
+      EXPECT_LE(err, 1e-10) << "n=" << n << " seed=" << seed;
+    }
+  }
 }
 
 TEST(Sampler, SampleSetKindsAndDeterminism) {

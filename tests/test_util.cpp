@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "tcr/util/check.hpp"
 #include "tcr/util/cli.hpp"
@@ -99,6 +101,84 @@ TEST(ThreadPool, SubmitReturnsValue) {
   ThreadPool pool(2);
   auto f = pool.submit([] { return 41 + 1; });
   EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, EmptyAndSingleIterationRanges) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  ThreadPool::parallel_for(pool, 0, [&](int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+  ThreadPool::parallel_for(pool, -4, [&](int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+  ThreadPool::parallel_for(pool, 1, [&](int i) {
+    EXPECT_EQ(i, 0);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ManyMoreIterationsThanWorkers) {
+  ThreadPool pool(2);
+  // Each index must be visited exactly once; the sum pins both coverage and
+  // no-duplicates in one check.
+  const int n = 10007;
+  std::atomic<long> sum{0};
+  std::vector<std::atomic<int>> visits(n);
+  ThreadPool::parallel_for(pool, n, [&](int i) {
+    visits[static_cast<std::size_t>(i)].fetch_add(1);
+    sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), static_cast<long>(n) * (n - 1) / 2);
+  for (int i = 0; i < n; ++i) ASSERT_EQ(visits[static_cast<std::size_t>(i)].load(), 1) << i;
+}
+
+TEST(ThreadPool, EveryIterationThrowingStillRethrowsOnce) {
+  ThreadPool pool(4);
+  EXPECT_THROW(ThreadPool::parallel_for(pool, 64, [&](int) { throw Error("each"); }), Error);
+  // The pool must stay usable after a fully-failing loop.
+  std::atomic<int> count{0};
+  ThreadPool::parallel_for(pool, 8, [&](int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, BlockRangePartitionsExactly) {
+  for (const auto& [n, blocks] : {std::pair{10, 3}, {7, 7}, {3, 8}, {0, 4}, {1, 1}, {100, 1}}) {
+    int covered = 0;
+    int prev_end = 0;
+    for (int b = 0; b < blocks; ++b) {
+      const auto [begin, end] = ThreadPool::block_range(n, blocks, b);
+      EXPECT_EQ(begin, prev_end) << n << "/" << blocks << " block " << b;
+      EXPECT_LE(begin, end);
+      // Sizes differ by at most one.
+      EXPECT_LE(end - begin, (n + blocks - 1) / blocks);
+      covered += end - begin;
+      prev_end = end;
+    }
+    EXPECT_EQ(prev_end, n);
+    EXPECT_EQ(covered, n);
+  }
+}
+
+TEST(ThreadPool, ParallelForBlocksVisitsEachIndexOnce) {
+  ThreadPool pool(3);
+  const int n = 257;
+  for (int blocks : {0, 1, 2, 5, 300}) {  // 0 -> pool size; 300 > n
+    std::vector<std::atomic<int>> visits(n);
+    ThreadPool::parallel_for_blocks(pool, n, blocks, [&](int begin, int end) {
+      for (int i = begin; i < end; ++i) visits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (int i = 0; i < n; ++i)
+      ASSERT_EQ(visits[static_cast<std::size_t>(i)].load(), 1) << "blocks=" << blocks << " i=" << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForBlocksPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(ThreadPool::parallel_for_blocks(pool, 12, 4,
+                                               [&](int begin, int) {
+                                                 if (begin >= 6) throw Error("block boom");
+                                               }),
+               Error);
 }
 
 TEST(Cli, ParsesFlagsAndDefaults) {
