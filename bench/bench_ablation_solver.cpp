@@ -19,7 +19,8 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const int kmin = cli.get_int("kmin", 3);
   const int kmax = cli.get_int("kmax", 5);
-  bench::JsonOutput jout(cli, "ablation_solver");
+  bench::JsonOutput jout(cli, "ablation_solver",
+                         obs::Json::object().set("kmin", kmin).set("kmax", kmax));
 
   bench::banner("Ablation: symmetry folding and anti-degeneracy perturbation",
                 "worst-case design LP (8); all configs must agree on the optimum");

@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
   const int k = cli.get_int("k", 8);
   const int count = cli.get_int("samples", 100);
   const std::string kind = cli.get_string("kind", "sinkhorn");
-  bench::JsonOutput jout(cli, "avgcase_approx");
+  bench::JsonOutput jout(cli, "avgcase_approx",
+                         obs::Json::object().set("k", k).set("samples", count).set("kind", kind));
 
   bench::banner("Section 3.3: quality of the linear average-case approximation",
                 "|X| = " + std::to_string(count) + ", sampler = " + kind);

@@ -12,6 +12,7 @@
 #include "tcr/lp/model.hpp"
 #include "tcr/obs/json.hpp"
 #include "tcr/obs/registry.hpp"
+#include "tcr/report/schema.hpp"
 #include "tcr/routing/dor.hpp"
 #include "tcr/routing/rlb.hpp"
 #include "tcr/routing/romm.hpp"
@@ -61,18 +62,25 @@ inline void banner(const std::string& title, const std::string& paper_ref) {
             << "==========================================================\n";
 }
 
-/// Machine-readable output behind every bench's `--json <path>` flag.
+/// Machine-readable output behind every bench's `--json <path>` flag,
+/// emitting the uniform record schema consumed by `tcr::report` / tcr-repro
+/// (report::kSchemaVersion).
 ///
-/// When the flag is present the helper opens a JSON-lines sink, enables the
-/// obs registry's fine-grained timing, and zeroes all metrics. Each point()
-/// call then appends one record
-///   {"bench": <name>, "point": <series values>, "obs": <registry snapshot>}
+/// When the flag is present the helper opens a JSON-lines sink, writes the
+/// run header
+///   {"schema_version": V, "kind": "meta", "bench": <id>, "params": {...}}
+/// (where `params` are the run's resolved CLI parameters), enables the obs
+/// registry's fine-grained timing, and zeroes all metrics. Each point() call
+/// then appends one record
+///   {"kind": "point", "bench": <id>, "point": <series values>,
+///    "obs": <registry snapshot>}
 /// and resets the registry again, so every snapshot covers exactly the work
 /// done since the previous record. Without the flag, every call is a no-op
 /// and timing stays off.
 class JsonOutput {
  public:
-  JsonOutput(const Cli& cli, std::string bench_name) : bench_(std::move(bench_name)) {
+  JsonOutput(const Cli& cli, std::string bench_name, obs::Json params)
+      : bench_(std::move(bench_name)) {
     const std::string path = cli.get_string("json", "");
     if (path.empty()) return;
     sink_ = std::make_unique<obs::EventSink>(path);
@@ -80,6 +88,12 @@ class JsonOutput {
       std::cerr << "error: cannot open --json output file '" << path << "'\n";
       std::exit(1);
     }
+    auto meta = obs::Json::object();
+    meta.set("schema_version", report::kSchemaVersion)
+        .set("kind", "meta")
+        .set("bench", bench_)
+        .set("params", std::move(params));
+    sink_->write(meta);
     obs::Registry::instance().set_timing_enabled(true);
     obs::Registry::instance().reset();
   }
@@ -98,7 +112,8 @@ class JsonOutput {
   void point(obs::Json fields) {
     if (!sink_) return;
     auto rec = obs::Json::object();
-    rec.set("bench", bench_)
+    rec.set("kind", "point")
+        .set("bench", bench_)
         .set("point", std::move(fields))
         .set("obs", obs::snapshot_json());
     sink_->write(rec);
@@ -112,7 +127,7 @@ class JsonOutput {
   void record(obs::Json fields) {
     if (!sink_) return;
     auto rec = obs::Json::object();
-    rec.set("bench", bench_).set("point", std::move(fields));
+    rec.set("kind", "point").set("bench", bench_).set("point", std::move(fields));
     sink_->write(rec);
   }
 

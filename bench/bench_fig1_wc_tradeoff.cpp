@@ -22,7 +22,14 @@ int main(int argc, char** argv) {
   const int k = cli.get_int("k", 8);
   const int points = cli.get_int("points", 9);
   const SweepConfig sweep = bench::sweep_config(cli);
-  bench::JsonOutput jout(cli, "fig1_wc_tradeoff");
+  const int threads = cli.get_int("threads", 1);
+  bench::JsonOutput jout(cli, "fig1_wc_tradeoff",
+                         obs::Json::object()
+                             .set("k", k)
+                             .set("points", points)
+                             .set("warm_start", sweep.warm_start)
+                             .set("chains", sweep.chains)
+                             .set("threads", threads));
 
   bench::banner("Figure 1: worst-case throughput vs locality, " + std::to_string(k) +
                     "-ary 2-cube",

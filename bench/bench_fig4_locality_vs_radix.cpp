@@ -18,7 +18,12 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const int kmin = cli.get_int("kmin", 3);
   const int kmax = cli.get_int("kmax", 8);
-  bench::JsonOutput jout(cli, "fig4_locality_vs_radix");
+  bench::JsonOutput jout(cli, "fig4_locality_vs_radix",
+                         obs::Json::object()
+                             .set("kmin", kmin)
+                             .set("kmax", kmax)
+                             .set("skip_2turn", cli.has("skip-2turn"))
+                             .set("skip_optimal", cli.has("skip-optimal")));
 
   bench::banner("Figure 4: locality of worst-case-optimal algorithms vs radix",
                 "IVAL closed form; 2TURN path LP; optimal arc LP");

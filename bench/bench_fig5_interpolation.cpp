@@ -51,7 +51,12 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const int k = cli.get_int("k", 8);
   const int alphas = cli.get_int("alphas", 7);
-  bench::JsonOutput jout(cli, "fig5_interpolation");
+  bench::JsonOutput jout(cli, "fig5_interpolation",
+                         obs::Json::object()
+                             .set("k", k)
+                             .set("alphas", alphas)
+                             .set("curve_points", cli.get_int("curve-points", 9))
+                             .set("skip_curve", cli.has("skip-curve")));
 
   bench::banner("Figure 5: interpolated routing algorithms, " + std::to_string(k) +
                     "-ary 2-cube",

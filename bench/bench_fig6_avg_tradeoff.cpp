@@ -28,7 +28,16 @@ int main(int argc, char** argv) {
   const int eval_count = cli.get_int("samples", 100);
   const int design_count = cli.get_int("design-samples", 12);
   const SweepConfig sweep = bench::sweep_config(cli);
-  bench::JsonOutput jout(cli, "fig6_avg_tradeoff");
+  bench::JsonOutput jout(cli, "fig6_avg_tradeoff",
+                         obs::Json::object()
+                             .set("k", k)
+                             .set("points", points)
+                             .set("samples", eval_count)
+                             .set("design_samples", design_count)
+                             .set("warm_start", sweep.warm_start)
+                             .set("chains", sweep.chains)
+                             .set("skip_curve", cli.has("skip-curve"))
+                             .set("skip_design", cli.has("skip-design")));
 
   bench::banner("Figure 6: average-case throughput vs locality, " + std::to_string(k) +
                     "-ary 2-cube",

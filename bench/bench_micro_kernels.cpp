@@ -4,6 +4,10 @@
 // cycle loop, and the tcr::obs instrumentation primitives (the LP kernels
 // double as the overhead check: BM_CapacityLP runs with fine-grained timing
 // off, BM_CapacityLPTimed with it on).
+//
+// This binary measures wall-clock, not paper quantities, so it is the one
+// bench outside the tcr-repro presets and the report::kSchemaVersion record
+// schema — google-benchmark owns its output (--benchmark_format=json).
 #include <benchmark/benchmark.h>
 
 #include "tcr/core/arc_flow.hpp"

@@ -20,7 +20,8 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const int k = cli.get_int("k", 4);
   const int cycles = cli.get_int("cycles", 3000);
-  bench::JsonOutput jout(cli, "sim_saturation");
+  bench::JsonOutput jout(cli, "sim_saturation",
+                         obs::Json::object().set("k", k).set("cycles", cycles));
 
   bench::banner("Flit-level simulator: measured vs analytic saturation throughput",
                 "extension experiment; k = " + std::to_string(k));

@@ -23,7 +23,12 @@ int main(int argc, char** argv) {
   const int k = cli.get_int("k", 8);
   const int eval_samples = cli.get_int("samples", 100);
   const int design_samples = cli.get_int("design-samples", 16);
-  bench::JsonOutput jout(cli, "table1_algorithms");
+  bench::JsonOutput jout(cli, "table1_algorithms",
+                         obs::Json::object()
+                             .set("k", k)
+                             .set("samples", eval_samples)
+                             .set("design_samples", design_samples)
+                             .set("skip_design", cli.has("skip-design")));
 
   bench::banner("Table 1 / Figure 1 & 6 algorithm points — " + std::to_string(k) +
                     "-ary 2-cube",

@@ -14,15 +14,21 @@
 
 namespace tcr {
 
+/// One point of a Figure 1/6 tradeoff curve: the locality bound and the
+/// best certified throughput the design LP achieved under it.
 struct TradeoffPoint {
-  double locality = 0.0;  // normalized average path length (>= 1)
-  /// Optimal Theta / capacity at that locality. NaN when the point was not
-  /// solved to a certified optimum — consumers must mark it unsolved, never
-  /// plot it as zero throughput (obs::Json already renders NaN as null).
+  /// Normalized H_avg (eq. 5 divided by the minimal average hop count;
+  /// >= 1, where 1 = minimal routing) — the figures' y-axis.
+  double locality = 0.0;
+  /// Optimal Theta / capacity at that locality, in [0, 1] (LP (10)
+  /// worst-case, LP (15) average-case) — the figures' x-axis. NaN when the
+  /// point was not solved to a certified optimum — consumers must mark it
+  /// unsolved, never plot it as zero throughput (obs::Json already renders
+  /// NaN as null).
   double capacity_fraction = std::numeric_limits<double>::quiet_NaN();
-  lp::Status status = lp::Status::Numerical;
-  std::string note;                // solver stop diagnosis when not Optimal
-  lp::Certificate certificate;     // independent KKT check of the point's LP
+  lp::Status status = lp::Status::Numerical;  ///< LP stop status of the point
+  std::string note;                ///< solver stop diagnosis when not Optimal
+  lp::Certificate certificate;     ///< independent KKT check of the point's LP
 
   bool solved() const { return status == lp::Status::Optimal; }
 };
@@ -44,14 +50,17 @@ struct SweepConfig {
 };
 
 /// Worst-case curve (Figure 1): for each normalized locality L, the best
-/// achievable worst-case throughput.
+/// achievable worst-case throughput as a capacity fraction (LP (10) with
+/// H_avg <= L, symmetry-reduced per §4).
 std::vector<TradeoffPoint> worst_case_tradeoff(const Torus& torus,
                                                const std::vector<double>& localities,
                                                const lp::SimplexOptions& opts = {},
                                                ThreadPool* pool = nullptr,
                                                const SweepConfig& sweep = {});
 
-/// Average-case curve (Figure 6) using permutation traffic samples.
+/// Average-case curve (Figure 6) using permutation traffic samples
+/// (LP (15) with H_avg <= L); capacity fractions use the arithmetic-mean
+/// approximation of eq. 9.
 std::vector<TradeoffPoint> average_case_tradeoff(const Torus& torus,
                                                  const std::vector<std::vector<int>>& samples,
                                                  const std::vector<double>& localities,
@@ -59,7 +68,8 @@ std::vector<TradeoffPoint> average_case_tradeoff(const Torus& torus,
                                                  ThreadPool* pool = nullptr,
                                                  const SweepConfig& sweep = {});
 
-/// Evenly spaced grid of n normalized localities in [lo, hi].
+/// Evenly spaced grid of n normalized localities in [lo, hi] (lo = 1 is
+/// minimal routing; Figure 1 sweeps [1, 2]).
 std::vector<double> locality_grid(double lo, double hi, int n);
 
 }  // namespace tcr

@@ -13,18 +13,21 @@
 
 namespace tcr {
 
+/// Sampled average-case throughput in both the paper's forms (eq. 9).
 struct AverageCaseResult {
-  double mean_max_load = 0.0;    // (1/|X|) sum gamma_max  (eq. 9)
-  double approx_throughput = 0.0;  // 1 / mean_max_load
-  double true_throughput = 0.0;    // (1/|X|) sum 1/gamma_max
+  double mean_max_load = 0.0;      ///< (1/|X|) sum gamma_max (eq. 9), bandwidth fraction
+  double approx_throughput = 0.0;  ///< 1 / mean_max_load — the paper's linear form
+  double true_throughput = 0.0;    ///< (1/|X|) sum 1/gamma_max, flits/node/cycle
 };
 
+/// Evaluate eq. 9 over the sample set X (per-sample gamma_max fanned out on
+/// `pool` when given). Samples must be doubly-stochastic.
 AverageCaseResult average_case(const TorusRouting& r,
                                const std::vector<TrafficMatrix>& samples,
                                ThreadPool* pool = nullptr);
 
-/// Approximate average-case throughput as a fraction of capacity — the
-/// x-axis of Figure 6.
+/// Approximate average-case throughput as a fraction of capacity, in
+/// [0, 1] — the x-axis of Figure 6 (paper max ≈ 0.628).
 double average_capacity_fraction(const TorusRouting& r,
                                  const std::vector<TrafficMatrix>& samples,
                                  ThreadPool* pool = nullptr);

@@ -11,22 +11,27 @@
 
 namespace tcr {
 
-/// gamma_c for every channel under traffic pattern lambda (eq. 2).
+/// gamma_c for every channel under traffic pattern lambda (eq. 2), indexed
+/// by channel id. Unit: fraction of channel bandwidth consumed per unit of
+/// injection rate (lambda doubly-stochastic, b_c = 1 on the torus).
 std::vector<double> channel_loads(const TorusRouting& r, const TrafficMatrix& lambda);
 
 /// gamma_c for a permutation pattern perm[s] = d (cheaper than a dense
-/// matrix).
+/// matrix). Same units as the TrafficMatrix overload.
 std::vector<double> channel_loads(const TorusRouting& r, const std::vector<int>& perm);
 
 /// gamma_max = max_c gamma_c / b_c (eq. 3; torus channels have b_c = 1).
+/// Unit: bandwidth fraction of the most loaded channel; its reciprocal is
+/// the saturation throughput (eq. 4).
 double max_channel_load(const TorusRouting& r, const TrafficMatrix& lambda);
 double max_channel_load(const TorusRouting& r, const std::vector<int>& perm);
 
-/// Theta(R, lambda) = 1 / gamma_max (eq. 4).
+/// Theta(R, lambda) = 1 / gamma_max (eq. 4). Unit: injection rate in
+/// flits/node/cycle sustainable before the worst channel saturates.
 double throughput(const TorusRouting& r, const TrafficMatrix& lambda);
 
 /// gamma_max under uniform traffic, using translation symmetry (one pass
-/// over the load table).
+/// over the load table). Same unit as max_channel_load (eq. 3).
 double uniform_max_load(const TorusRouting& r);
 
 /// Theta(R, U) / capacity: how much of the network's ideal capacity the

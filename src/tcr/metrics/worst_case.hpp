@@ -13,22 +13,28 @@
 
 namespace tcr {
 
+/// Exact worst-case load of a fixed routing algorithm with its adversarial
+/// witness (eq. 7 / [11]).
 struct WorstCaseResult {
-  double gamma = 0.0;            // gamma_wc(R): worst-case max channel load
-  int channel = -1;              // representative channel attaining it
-  std::vector<int> permutation;  // an adversarial permutation achieving it
+  double gamma = 0.0;            ///< gamma_wc(R): worst-case gamma_max, bandwidth fraction
+  int channel = -1;              ///< representative channel attaining it
+  std::vector<int> permutation;  ///< an adversarial permutation achieving it
 };
 
-/// Per-pair load matrix W[s][d] for a specific channel.
+/// Per-pair load matrix W[s][d] for a specific channel: the bandwidth
+/// fraction pair (s, d) places on it per unit of traffic (the matching
+/// weights of eq. 7).
 DenseMatrix pair_load_matrix(const TorusRouting& r, int channel);
 
-/// Exact gamma_wc(R) with an adversarial witness permutation.
+/// Exact gamma_wc(R) with an adversarial witness permutation (eq. 7,
+/// Hungarian matching per representative channel).
 WorstCaseResult worst_case(const TorusRouting& r);
 
-/// Theta_wc(R) = 1 / gamma_wc(R) (eq. 7 reciprocal).
+/// Theta_wc(R) = 1 / gamma_wc(R) (eq. 7 reciprocal). Unit: flits/node/cycle.
 double worst_case_throughput(const TorusRouting& r);
 
-/// Theta_wc(R) as a fraction of network capacity — the x-axis of Figure 1.
+/// Theta_wc(R) / capacity, in [0, 1] — the y-axis of Figure 1 (0.5 for
+/// worst-case-optimal algorithms, §3.1).
 double worst_case_capacity_fraction(const TorusRouting& r);
 
 }  // namespace tcr

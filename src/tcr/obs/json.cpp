@@ -49,6 +49,70 @@ void dump_double(std::ostream& os, double v) {
 
 }  // namespace
 
+double Json::as_number(double fallback) const {
+  if (kind_ == Kind::Int) return static_cast<double>(int_);
+  if (kind_ == Kind::Double) return double_;
+  return fallback;
+}
+
+std::int64_t Json::as_int(std::int64_t fallback) const {
+  if (kind_ == Kind::Int) return int_;
+  if (kind_ == Kind::Double) return static_cast<std::int64_t>(double_);
+  return fallback;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::size_t Json::size() const {
+  if (kind_ == Kind::Array) return array_.size();
+  if (kind_ == Kind::Object) return object_.size();
+  return 0;
+}
+
+bool Json::equals(const Json& other) const {
+  if (kind_ != other.kind_) {
+    // Ints and doubles compare by value so parse(dump(x)) == x even when a
+    // double happens to hold an integral value.
+    if (is_number() && other.is_number()) return as_number() == other.as_number();
+    return false;
+  }
+  switch (kind_) {
+    case Kind::Null: return true;
+    case Kind::Bool: return bool_ == other.bool_;
+    case Kind::Int: return int_ == other.int_;
+    case Kind::Double:
+      return double_ == other.double_ || (std::isnan(double_) && std::isnan(other.double_));
+    case Kind::String: return string_ == other.string_;
+    case Kind::Array: {
+      if (array_.size() != other.array_.size()) return false;
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (!array_[i].equals(other.array_[i])) return false;
+      }
+      return true;
+    }
+    case Kind::Object: {
+      if (object_.size() != other.object_.size()) return false;
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (object_[i].first != other.object_[i].first) return false;
+        if (!object_[i].second.equals(other.object_[i].second)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::string& Json::empty_string() {
+  static const std::string kEmpty;
+  return kEmpty;
+}
+
 Json& Json::set(std::string key, Json value) {
   TCR_REQUIRE(is_object(), "Json::set on a non-object");
   object_.emplace_back(std::move(key), std::move(value));

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <fstream>
 #include <iosfwd>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -24,6 +25,10 @@ class Json {
   using Object = std::vector<std::pair<std::string, Json>>;
   using Array = std::vector<Json>;
 
+  /// Value kind; doubles and ints are distinct so integer series values
+  /// (radix k, sample counts) round-trip exactly through the report layer.
+  enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
   Json() : kind_(Kind::Null) {}
   Json(bool b) : kind_(Kind::Bool), bool_(b) {}
   Json(int v) : kind_(Kind::Int), int_(v) {}
@@ -38,6 +43,12 @@ class Json {
   static Json object() { return Json(Object{}); }
   static Json array() { return Json(Array{}); }
 
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  bool is_string() const { return kind_ == Kind::String; }
+  /// True for Int and Double values.
+  bool is_number() const { return kind_ == Kind::Int || kind_ == Kind::Double; }
   bool is_object() const { return kind_ == Kind::Object; }
   bool is_array() const { return kind_ == Kind::Array; }
 
@@ -46,11 +57,38 @@ class Json {
   /// Append an element (arrays only).
   Json& push_back(Json value);
 
+  // --- read accessors (used by tcr::report to consume bench records) ---
+
+  /// Bool value, or `fallback` for any other kind.
+  bool as_bool(bool fallback = false) const { return is_bool() ? bool_ : fallback; }
+  /// Numeric value as double. Null and non-numbers yield `fallback`; the
+  /// default NaN mirrors the writer, which renders NaN/Inf as JSON null.
+  double as_number(double fallback = std::numeric_limits<double>::quiet_NaN()) const;
+  /// Integer value (Double is truncated), or `fallback` for non-numbers.
+  std::int64_t as_int(std::int64_t fallback = 0) const;
+  /// String value, or `fallback` for any other kind.
+  const std::string& as_string(const std::string& fallback = empty_string()) const {
+    return is_string() ? string_ : fallback;
+  }
+
+  /// First value under `key` (objects only; nullptr when absent or when this
+  /// is not an object). Lookup is linear — records are small by design.
+  const Json* find(const std::string& key) const;
+  /// Element count of an array/object; 0 for scalars.
+  std::size_t size() const;
+  /// Ordered key/value pairs (empty for non-objects).
+  const Object& items() const { return object_; }
+  /// Ordered elements (empty for non-arrays).
+  const Array& elements() const { return array_; }
+
+  /// Deep structural equality (key order matters — records are ordered).
+  bool equals(const Json& other) const;
+
   void dump(std::ostream& os) const;
   std::string dump() const;
 
  private:
-  enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+  static const std::string& empty_string();
 
   Kind kind_;
   bool bool_ = false;

@@ -1,0 +1,110 @@
+// Golden-value gate for the reproduction harness: the checked-in
+// bench/golden.json names every headline quantity the repo publishes — the
+// paper's value, the value the recorded reference run measured, and a
+// per-quantity tolerance — and the comparator re-extracts each quantity
+// from a fresh run's records and fails on any breach. The paper's numbers
+// are analytic/LP-derived, so they reproduce to tight tolerances every run;
+// a breach means a solver or routing change silently moved a published
+// figure/table value.
+//
+// Golden file shape (schema_version 1):
+//   {"schema_version":1,
+//    "tables":[{"name":...,"kind":"list"|"grid",...}, ...],
+//    "quantities":[{"id":...,"presets":[...],"bench":...,"match":{...},
+//                   "field":...,"paper":...,"measured":...,
+//                   "abs_tol":...,"rel_tol":..., <presentation keys>}, ...]}
+//
+// A quantity with a "field" is *gated*: tcr-repro selects the first record
+// of the named bench whose point matches every key of "match", reads the
+// field, and requires |actual - measured| <= abs_tol + rel_tol*|measured|.
+// "measured": null records an unsolved point (NaN); the fresh value must
+// then be unsolved too. Quantities without a "field" are presentation-only
+// rows for the generated EXPERIMENTS.md tables.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "tcr/obs/json.hpp"
+#include "tcr/report/schema.hpp"
+
+namespace tcr::report {
+
+/// Layout of one generated EXPERIMENTS.md table (see markdown.hpp).
+struct TableSpec {
+  std::string name;                  ///< referenced by `<!-- tcr:table name -->`
+  std::string kind;                  ///< "list" (Quantity|Paper|Measured|Binary) or "grid"
+  std::string row_header;            ///< grid only: header of the row-key column
+  std::vector<std::string> columns;  ///< grid only: column order
+};
+
+/// One published quantity: where it comes from, what the paper says, what
+/// the recorded reference run measured, and how tightly it must reproduce.
+struct Quantity {
+  std::string id;                     ///< unique, e.g. "table1.val.wc"
+  std::vector<std::string> presets;   ///< presets that gate it (empty = never gated)
+  std::string bench;                  ///< bench id whose records hold it
+  obs::Json match;                    ///< point-field selectors (object of scalars)
+  std::string field;                  ///< numeric point field; empty = presentation-only
+  double paper = std::numeric_limits<double>::quiet_NaN();  ///< paper value (if numeric)
+  double measured = std::numeric_limits<double>::quiet_NaN();  ///< recorded golden value
+  bool has_measured = false;          ///< "measured" key present (null => NaN, unsolved)
+  double abs_tol = 0.0;               ///< absolute tolerance
+  double rel_tol = 0.0;               ///< relative tolerance (vs |measured|)
+
+  // Presentation (generated EXPERIMENTS.md tables; all optional).
+  std::string table;          ///< TableSpec name this quantity renders into
+  std::string row;            ///< row label (list) or row key (grid)
+  std::string col;            ///< grid column name
+  std::string binary;         ///< list tables: producing binary
+  std::string measured_note;  ///< appended after the measured value
+  std::string measured_str;   ///< verbatim measured cell (presentation-only rows)
+  std::string paper_str;      ///< verbatim paper cell; falls back to `paper`
+  int fmt = 4;                ///< decimals when formatting `measured`
+  bool bold = false;          ///< grid tables: render the cell bold
+
+  /// Gated quantities are compared against fresh runs; the rest only render.
+  bool gated() const { return !field.empty(); }
+  bool applies_to(const std::string& preset) const;
+};
+
+/// Parsed golden file.
+struct GoldenFile {
+  int schema_version = 0;
+  std::vector<TableSpec> tables;
+  std::vector<Quantity> quantities;
+
+  const TableSpec* find_table(const std::string& name) const;
+};
+
+/// Load and validate bench/golden.json. Fails on parse errors, unsupported
+/// schema_version, duplicate ids, or gated quantities missing tolerances.
+bool load_golden(const std::string& path, GoldenFile* out, std::string* error);
+
+/// Result of checking one gated quantity against fresh records.
+struct Comparison {
+  enum class Outcome {
+    Pass,     ///< within tolerance (or both recorded & fresh unsolved)
+    Breach,   ///< outside tolerance, or solved/unsolved state changed
+    Missing,  ///< no record matched (bench not run or series absent)
+  };
+  std::string id;      ///< Quantity::id
+  std::string bench;   ///< Quantity::bench
+  double paper = std::numeric_limits<double>::quiet_NaN();
+  double golden = std::numeric_limits<double>::quiet_NaN();  ///< recorded measured value
+  double actual = std::numeric_limits<double>::quiet_NaN();  ///< fresh run value
+  double delta = std::numeric_limits<double>::quiet_NaN();   ///< |actual - golden|
+  double tolerance = 0.0;  ///< abs_tol + rel_tol*|golden|
+  Outcome outcome = Outcome::Missing;
+  std::string reason;  ///< names the quantity and delta on breach
+};
+
+/// Check one gated quantity against a set of parsed runs.
+Comparison compare_quantity(const Quantity& q, const std::vector<BenchRun>& runs);
+
+/// Check every quantity gated by `preset` against the runs, in file order.
+std::vector<Comparison> compare_preset(const GoldenFile& golden, const std::string& preset,
+                                       const std::vector<BenchRun>& runs);
+
+}  // namespace tcr::report

@@ -1,0 +1,297 @@
+#include "tcr/report/json_reader.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace tcr::report {
+
+namespace {
+
+// Recursive-descent parser over a string_view. Depth is bounded to keep
+// malicious/corrupt inputs from overflowing the stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool parse(obs::Json* out, std::string* error) {
+    skip_ws();
+    if (!parse_value(out, 0)) {
+      if (error != nullptr) *error = error_;
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      if (error != nullptr) *error = fail("trailing characters after JSON value");
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  std::string fail(const std::string& msg) {
+    if (error_.empty()) {
+      std::ostringstream os;
+      os << msg << " at offset " << pos_;
+      error_ = os.str();
+    }
+    return error_;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_value(obs::Json* out, int depth) {
+    if (depth > kMaxDepth) {
+      fail("nesting too deep");
+      return false;
+    }
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    switch (text_[pos_]) {
+      case 'n':
+        if (!literal("null")) { fail("invalid literal"); return false; }
+        *out = obs::Json();
+        return true;
+      case 't':
+        if (!literal("true")) { fail("invalid literal"); return false; }
+        *out = obs::Json(true);
+        return true;
+      case 'f':
+        if (!literal("false")) { fail("invalid literal"); return false; }
+        *out = obs::Json(false);
+        return true;
+      case '"': {
+        std::string s;
+        if (!parse_string(&s)) return false;
+        *out = obs::Json(std::move(s));
+        return true;
+      }
+      case '[': return parse_array(out, depth);
+      case '{': return parse_object(out, depth);
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    out->clear();
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) { fail("truncated \\u escape"); return false; }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else { fail("invalid \\u escape"); return false; }
+            }
+            append_utf8(out, code);
+            break;
+          }
+          default: fail("invalid escape"); return false;
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+        return false;
+      }
+      out->push_back(c);
+      ++pos_;
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  // Surrogate pairs are not reassembled — the writer never emits them (it
+  // escapes only control characters); lone code points cover our inputs.
+  static void append_utf8(std::string* out, unsigned code) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  bool parse_number(obs::Json* out) {
+    const std::size_t start = pos_;
+    bool is_double = false;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      is_double = true;
+      ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      fail("invalid number");
+      return false;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (is_double) {
+      *out = obs::Json(std::strtod(token.c_str(), nullptr));
+      return true;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(token.c_str(), &end, 10);
+    if (errno == ERANGE) {
+      // Out-of-int64 integers degrade to double rather than failing.
+      *out = obs::Json(std::strtod(token.c_str(), nullptr));
+    } else {
+      *out = obs::Json(v);
+    }
+    return true;
+  }
+
+  bool parse_array(obs::Json* out, int depth) {
+    ++pos_;  // '['
+    *out = obs::Json::array();
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      obs::Json elem;
+      skip_ws();
+      if (!parse_value(&elem, depth + 1)) return false;
+      out->push_back(std::move(elem));
+      skip_ws();
+      if (pos_ >= text_.size()) { fail("unterminated array"); return false; }
+      if (text_[pos_] == ',') { ++pos_; continue; }
+      if (text_[pos_] == ']') { ++pos_; return true; }
+      fail("expected ',' or ']' in array");
+      return false;
+    }
+  }
+
+  bool parse_object(obs::Json* out, int depth) {
+    ++pos_;  // '{'
+    *out = obs::Json::object();
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        fail("expected string key in object");
+        return false;
+      }
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        fail("expected ':' after object key");
+        return false;
+      }
+      ++pos_;
+      skip_ws();
+      obs::Json value;
+      if (!parse_value(&value, depth + 1)) return false;
+      out->set(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) { fail("unterminated object"); return false; }
+      if (text_[pos_] == ',') { ++pos_; continue; }
+      if (text_[pos_] == '}') { ++pos_; return true; }
+      fail("expected ',' or '}' in object");
+      return false;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+bool parse_json(std::string_view text, obs::Json* out, std::string* error) {
+  return Parser(text).parse(out, error);
+}
+
+bool parse_json_lines(std::istream& in, std::vector<obs::Json>* out, std::string* error) {
+  out->clear();
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    obs::Json record;
+    std::string err;
+    if (!parse_json(line, &record, &err)) {
+      if (error != nullptr) *error = "line " + std::to_string(lineno) + ": " + err;
+      return false;
+    }
+    out->push_back(std::move(record));
+  }
+  return true;
+}
+
+bool parse_json_file(const std::string& path, obs::Json* out, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open '" + path + "'";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string err;
+  if (!parse_json(buf.str(), out, &err)) {
+    if (error != nullptr) *error = path + ": " + err;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace tcr::report

@@ -1,0 +1,28 @@
+// JSON parser for the report layer: reads back what obs::Json wrote — the
+// benches' `--json` JSON-lines records and the checked-in golden-value file
+// (bench/golden.json). Strict JSON (RFC 8259) with one reproduction-specific
+// convention: `null` in a numeric position round-trips to NaN, matching the
+// writer, which renders NaN/Inf as null (unsolved sweep points).
+#pragma once
+
+#include <istream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tcr/obs/json.hpp"
+
+namespace tcr::report {
+
+/// Parse one JSON document. Returns false (and fills *error with a
+/// position-annotated message) on malformed input; *out is then unspecified.
+bool parse_json(std::string_view text, obs::Json* out, std::string* error);
+
+/// Parse a whole JSON-lines stream (one document per line, blank lines
+/// skipped). On error, *error names the failing line number.
+bool parse_json_lines(std::istream& in, std::vector<obs::Json>* out, std::string* error);
+
+/// Read and parse a file holding a single JSON document.
+bool parse_json_file(const std::string& path, obs::Json* out, std::string* error);
+
+}  // namespace tcr::report

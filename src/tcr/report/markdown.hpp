@@ -1,0 +1,36 @@
+// EXPERIMENTS.md renderer: expands the hand-maintained prose template
+// (docs/experiments.tmpl.md) with tables generated from the golden file, so
+// the measured numbers in the committed EXPERIMENTS.md are exactly the
+// recorded reference-run values that tcr-repro gates — the document can
+// never drift from what the binaries actually print.
+//
+// Template directives, each alone on its own line:
+//   <!-- tcr:generated -->      expands to the "generated file" banner
+//   <!-- tcr:table NAME -->     expands to the table NAME from golden.json
+//
+// Rendering depends only on (template, golden file) — never on a live run —
+// so every tcr-repro invocation regenerates the document byte-identically
+// and `--check-experiments` can diff it against the committed copy.
+#pragma once
+
+#include <string>
+
+#include "tcr/report/golden.hpp"
+
+namespace tcr::report {
+
+/// Format a measured value with `decimals` fixed digits ("unsolved" for NaN).
+std::string format_measured(double value, int decimals);
+
+/// Render one table from the golden file as GitHub-flavored markdown.
+/// Returns false (with *error set) on an unknown table or a list/grid
+/// quantity missing its row/col labels.
+bool render_table(const GoldenFile& golden, const std::string& name, std::string* out,
+                  std::string* error);
+
+/// Expand every directive of `template_text`. Unknown `tcr:` directives are
+/// an error (they are always typos).
+bool render_experiments(const std::string& template_text, const GoldenFile& golden,
+                        std::string* out, std::string* error);
+
+}  // namespace tcr::report

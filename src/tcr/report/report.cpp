@@ -1,0 +1,76 @@
+#include "tcr/report/report.hpp"
+
+namespace tcr::report {
+
+namespace {
+
+const char* outcome_name(Comparison::Outcome outcome) {
+  switch (outcome) {
+    case Comparison::Outcome::Pass: return "pass";
+    case Comparison::Outcome::Breach: return "breach";
+    case Comparison::Outcome::Missing: return "missing";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+Summary summarize(const std::vector<Comparison>& comparisons) {
+  Summary s;
+  s.total = static_cast<int>(comparisons.size());
+  for (const Comparison& cmp : comparisons) {
+    switch (cmp.outcome) {
+      case Comparison::Outcome::Pass: ++s.passed; break;
+      case Comparison::Outcome::Breach: ++s.breached; break;
+      case Comparison::Outcome::Missing: ++s.missing; break;
+    }
+  }
+  return s;
+}
+
+obs::Json build_report(const std::string& preset, bool gating_enabled,
+                       const std::vector<BenchOutcome>& benches,
+                       const std::vector<Comparison>& comparisons,
+                       const CertificateTally& certs) {
+  auto bench_list = obs::Json::array();
+  for (const BenchOutcome& b : benches) {
+    bench_list.push_back(obs::Json::object()
+                             .set("bench", b.bench)
+                             .set("records_path", b.records_path)
+                             .set("exit_code", b.exit_code)
+                             .set("records", static_cast<long long>(b.records)));
+  }
+
+  auto comparison_list = obs::Json::array();
+  for (const Comparison& cmp : comparisons) {
+    comparison_list.push_back(obs::Json::object()
+                                  .set("id", cmp.id)
+                                  .set("bench", cmp.bench)
+                                  .set("paper", cmp.paper)     // NaN -> null
+                                  .set("golden", cmp.golden)   // NaN -> null (unsolved)
+                                  .set("actual", cmp.actual)
+                                  .set("delta", cmp.delta)
+                                  .set("tolerance", cmp.tolerance)
+                                  .set("outcome", outcome_name(cmp.outcome))
+                                  .set("reason", cmp.reason));
+  }
+
+  const Summary summary = summarize(comparisons);
+  return obs::Json::object()
+      .set("schema_version", kSchemaVersion)
+      .set("preset", preset)
+      .set("gating_enabled", gating_enabled)
+      .set("benches", std::move(bench_list))
+      .set("comparisons", std::move(comparison_list))
+      .set("certificates", obs::Json::object()
+                               .set("checked", certs.checked)
+                               .set("failed", certs.failed))
+      .set("summary", obs::Json::object()
+                          .set("total", summary.total)
+                          .set("passed", summary.passed)
+                          .set("breached", summary.breached)
+                          .set("missing", summary.missing)
+                          .set("pass", summary.pass(certs)));
+}
+
+}  // namespace tcr::report

@@ -1,0 +1,46 @@
+// Machine-readable run report (report.json) for the reproduction harness:
+// one document per tcr-repro invocation recording which benches ran, every
+// golden comparison with its delta, the certificate tally, and the overall
+// verdict. This file is the repo's bench trajectory — CI uploads it as an
+// artifact, and downstream tooling trends the deltas over time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tcr/obs/json.hpp"
+#include "tcr/report/golden.hpp"
+#include "tcr/report/schema.hpp"
+
+namespace tcr::report {
+
+/// Aggregate verdict over a set of comparisons.
+struct Summary {
+  int total = 0;    ///< gated quantities checked
+  int passed = 0;
+  int breached = 0;
+  int missing = 0;  ///< gated quantity had no matching record
+  /// Overall gate: no breaches, no missing quantities, no failed
+  /// certificates anywhere in the run records.
+  bool pass(const CertificateTally& certs) const {
+    return breached == 0 && missing == 0 && certs.failed == 0;
+  }
+};
+Summary summarize(const std::vector<Comparison>& comparisons);
+
+/// One bench execution as seen by the driver.
+struct BenchOutcome {
+  std::string bench;        ///< bench id
+  std::string records_path; ///< the .jsonl this run was parsed from
+  int exit_code = 0;
+  std::size_t records = 0;  ///< series points parsed
+};
+
+/// Build the report.json document (schema_version, preset, benches,
+/// comparisons, certificates, summary).
+obs::Json build_report(const std::string& preset, bool gating_enabled,
+                       const std::vector<BenchOutcome>& benches,
+                       const std::vector<Comparison>& comparisons,
+                       const CertificateTally& certs);
+
+}  // namespace tcr::report

@@ -1,0 +1,65 @@
+// The versioned uniform schema every bench's `--json` output follows, and
+// its parser. A run file is JSON-lines:
+//
+//   {"schema_version":1,"kind":"meta","bench":"<id>","params":{...}}
+//   {"kind":"point","bench":"<id>","point":{...},"obs":{...}}   (obs optional)
+//   ...
+//
+// The first line is the run header (`kind: "meta"`): schema version, bench
+// id, and the resolved CLI parameters of the run. Every following line is
+// one series point; `point` holds the paper-series values (capacity
+// fractions, normalized localities, certificates), `obs` the instrumentation
+// snapshot covering that point's work. tcr-repro consumes these records to
+// gate golden values and to count certificate failures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tcr/obs/json.hpp"
+
+namespace tcr::report {
+
+/// Version of the record schema written by bench::JsonOutput and accepted
+/// by this parser. Bump on any incompatible record-shape change.
+inline constexpr int kSchemaVersion = 1;
+
+/// One series point of a bench run: the paper-series values plus the
+/// (optional) obs snapshot of the work behind them.
+struct BenchRecord {
+  obs::Json point;  ///< series values (object)
+  obs::Json obs;    ///< instrumentation snapshot; null when absent
+};
+
+/// A parsed `--json` run: header plus all of its points.
+struct BenchRun {
+  int schema_version = 0;
+  std::string bench;  ///< bench id, e.g. "fig1_wc_tradeoff"
+  obs::Json params;   ///< resolved CLI parameters of the run (object)
+  std::vector<BenchRecord> records;
+};
+
+/// Parse one bench run file (JSON-lines, first line `kind:"meta"`).
+/// Returns false and fills *error on malformed input, a missing/foreign
+/// header, or an unsupported schema_version.
+bool parse_run_file(const std::string& path, BenchRun* out, std::string* error);
+
+/// Numeric series value of a point, by field name. Missing fields and JSON
+/// null (the writer's encoding of NaN — unsolved points) both return NaN.
+double point_number(const BenchRecord& rec, const std::string& field);
+
+/// True when every key/value pair of `match` (an object of scalars) equals
+/// the corresponding field of the record's point. Numbers compare by value,
+/// strings and bools exactly.
+bool point_matches(const BenchRecord& rec, const obs::Json& match);
+
+/// Certificate tally across a set of runs. Every point field named
+/// "certificate" (at top level of the point) with `checked:true` counts;
+/// `pass:false` among those is a published-number bug.
+struct CertificateTally {
+  long long checked = 0;
+  long long failed = 0;
+};
+CertificateTally tally_certificates(const std::vector<BenchRun>& runs);
+
+}  // namespace tcr::report
