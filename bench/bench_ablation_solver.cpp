@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   const int kmax = cli.get_int("kmax", 5);
   bench::JsonOutput jout(cli, "ablation_solver",
                          obs::Json::object().set("kmin", kmin).set("kmax", kmax));
+  bench::TraceOutput trace(cli);
 
   bench::banner("Ablation: symmetry folding and anti-degeneracy perturbation",
                 "worst-case design LP (8); all configs must agree on the optimum");

@@ -9,6 +9,7 @@
 #include <cmath>
 
 #include "tcr/metrics/average_case.hpp"
+#include "tcr/trace/tracer.hpp"
 #include "tcr/traffic/sampler.hpp"
 
 int main(int argc, char** argv) {
@@ -19,18 +20,29 @@ int main(int argc, char** argv) {
   const std::string kind = cli.get_string("kind", "sinkhorn");
   bench::JsonOutput jout(cli, "avgcase_approx",
                          obs::Json::object().set("k", k).set("samples", count).set("kind", kind));
+  bench::TraceOutput trace(cli);
 
   bench::banner("Section 3.3: quality of the linear average-case approximation",
                 "|X| = " + std::to_string(count) + ", sampler = " + kind);
   const Torus torus(k);
   Rng rng(333);
-  const auto samples = sample_traffic_set(rng, torus.num_nodes(), count, kind);
+  trace::Span bench_span("avgcase");
+  bench_span.attr("k", static_cast<std::int64_t>(k));
+  bench_span.attr("samples", static_cast<std::int64_t>(count));
+  const auto samples = [&] {
+    trace::Span s("avgcase.sample_traffic");
+    s.attr("kind", kind);
+    return sample_traffic_set(rng, torus.num_nodes(), count, kind);
+  }();
 
   TextTable table({"algorithm", "1/mean-load (approx)", "mean 1/load (true)", "error %"});
   double worst = 0.0;
   for (const auto& r : bench::table1_algorithms(torus)) {
+    trace::Span eval_span("avgcase.eval");
+    eval_span.attr("algorithm", r.name());
     const auto res = average_case(r, samples);
     const double err = 100.0 * std::abs(res.approx_throughput / res.true_throughput - 1.0);
+    eval_span.attr("error_pct", err);
     worst = std::max(worst, err);
     table.add_row_mixed({r.name()}, {res.approx_throughput, res.true_throughput, err});
     auto fields = obs::Json::object();

@@ -13,6 +13,8 @@
 #include "tcr/obs/json.hpp"
 #include "tcr/obs/registry.hpp"
 #include "tcr/report/schema.hpp"
+#include "tcr/trace/export.hpp"
+#include "tcr/trace/tracer.hpp"
 #include "tcr/routing/dor.hpp"
 #include "tcr/routing/rlb.hpp"
 #include "tcr/routing/romm.hpp"
@@ -134,6 +136,48 @@ class JsonOutput {
  private:
   std::string bench_;
   std::unique_ptr<obs::EventSink> sink_;
+};
+
+/// Span tracing behind every bench's `--trace <path>` flag.
+///
+/// When the flag is present the helper starts the process-wide
+/// trace::Tracer (so Span/counter call sites throughout the library begin
+/// collecting) and, on destruction at the end of the run, exports the
+/// buffer as Chrome trace-event JSON to the given path — loadable in
+/// Perfetto / chrome://tracing and analyzable with the tcr-trace tool.
+/// `--trace-sample N` overrides the simplex convergence-telemetry cadence
+/// (default: every 32 iterations); `--trace-capacity N` the ring-buffer
+/// event capacity. Without `--trace`, tracing stays off and every
+/// instrumented site costs one predicted branch.
+class TraceOutput {
+ public:
+  explicit TraceOutput(const Cli& cli) : path_(cli.get_string("trace", "")) {
+    if (path_.empty()) return;
+    trace::TracerConfig cfg;
+    cfg.capacity = static_cast<std::size_t>(
+        cli.get_int("trace-capacity", static_cast<int>(cfg.capacity)));
+    cfg.simplex_sample_every = cli.get_int("trace-sample", cfg.simplex_sample_every);
+    trace::Tracer::instance().start(cfg);
+  }
+
+  TraceOutput(const TraceOutput&) = delete;
+  TraceOutput& operator=(const TraceOutput&) = delete;
+
+  ~TraceOutput() {
+    if (path_.empty()) return;
+    trace::Tracer::instance().stop();
+    std::string error;
+    if (!trace::export_chrome_trace(path_, &error)) {
+      std::cerr << "error: --trace export failed: " << error << "\n";
+      std::exit(1);
+    }
+    std::cout << "trace written to " << path_ << "\n";
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+ private:
+  std::string path_;
 };
 
 /// One-line solver status for the text output: the status name plus the

@@ -9,7 +9,9 @@
 // sweep's chains on a pool; results are identical to serial), --json <path>
 // (one JSON record per curve point / algorithm; the curve's obs snapshot —
 // including the lp.warmstart.* counters — arrives in a trailing
-// sweep_summary record).
+// sweep_summary record), --trace <path> (Perfetto span trace of the whole
+// run: per-point sweep spans with warm-start adoption attributes plus the
+// sampled simplex convergence telemetry; see bench::TraceOutput).
 #include "bench_common.hpp"
 
 #include "tcr/core/tradeoff.hpp"
@@ -30,6 +32,7 @@ int main(int argc, char** argv) {
                              .set("warm_start", sweep.warm_start)
                              .set("chains", sweep.chains)
                              .set("threads", threads));
+  bench::TraceOutput trace(cli);
 
   bench::banner("Figure 1: worst-case throughput vs locality, " + std::to_string(k) +
                     "-ary 2-cube",
@@ -53,6 +56,7 @@ int main(int argc, char** argv) {
         .set("locality", pt.locality)
         .set("capacity_fraction", pt.capacity_fraction)  // NaN -> null when unsolved
         .set("status", lp::to_string(pt.status))
+        .set("warm_start", pt.warm_start)
         .set("certificate", bench::certificate_json(pt.certificate));
     jout.record(std::move(fields));
   }

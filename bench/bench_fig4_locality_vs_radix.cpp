@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
                              .set("kmax", kmax)
                              .set("skip_2turn", cli.has("skip-2turn"))
                              .set("skip_optimal", cli.has("skip-optimal")));
+  bench::TraceOutput trace(cli);
 
   bench::banner("Figure 4: locality of worst-case-optimal algorithms vs radix",
                 "IVAL closed form; 2TURN path LP; optimal arc LP");

@@ -57,6 +57,7 @@ int main(int argc, char** argv) {
                              .set("alphas", alphas)
                              .set("curve_points", cli.get_int("curve-points", 9))
                              .set("skip_curve", cli.has("skip-curve")));
+  bench::TraceOutput trace(cli);
 
   bench::banner("Figure 5: interpolated routing algorithms, " + std::to_string(k) +
                     "-ary 2-cube",

@@ -9,7 +9,8 @@
 // --chains (warm-start chaining, see bench::sweep_config), --threads N
 // (solve the sweep's chains on a pool), --json <path>
 // (one JSON record per curve point / designed routing / algorithm point;
-// the curve's obs snapshot arrives in a trailing sweep_summary record).
+// the curve's obs snapshot arrives in a trailing sweep_summary record),
+// --trace <path> (Perfetto span trace; see bench::TraceOutput).
 #include "bench_common.hpp"
 
 #include "tcr/core/design.hpp"
@@ -38,6 +39,7 @@ int main(int argc, char** argv) {
                              .set("chains", sweep.chains)
                              .set("skip_curve", cli.has("skip-curve"))
                              .set("skip_design", cli.has("skip-design")));
+  bench::TraceOutput trace(cli);
 
   bench::banner("Figure 6: average-case throughput vs locality, " + std::to_string(k) +
                     "-ary 2-cube",
@@ -63,6 +65,7 @@ int main(int argc, char** argv) {
           .set("locality", pt.locality)
           .set("capacity_fraction", pt.capacity_fraction)  // NaN -> null when unsolved
           .set("status", lp::to_string(pt.status))
+          .set("warm_start", pt.warm_start)
           .set("certificate", bench::certificate_json(pt.certificate));
       jout.record(std::move(fields));
     }

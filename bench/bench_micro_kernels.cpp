@@ -1,9 +1,10 @@
 // Microbenchmarks (google-benchmark) of the library's computational
 // kernels: Hungarian matching, channel-load evaluation, sparse LU
 // factorization, the revised simplex on a capacity LP, the flit simulator
-// cycle loop, and the tcr::obs instrumentation primitives (the LP kernels
-// double as the overhead check: BM_CapacityLP runs with fine-grained timing
-// off, BM_CapacityLPTimed with it on).
+// cycle loop, and the tcr::obs / tcr::trace instrumentation primitives (the
+// LP kernels double as the overhead check: BM_CapacityLP runs with
+// fine-grained timing off, BM_CapacityLPTimed with it on, and
+// BM_CapacityLPTraced with the span tracer collecting).
 //
 // This binary measures wall-clock, not paper quantities, so it is the one
 // bench outside the tcr-repro presets and the report::kSchemaVersion record
@@ -19,6 +20,7 @@
 #include "tcr/routing/dor.hpp"
 #include "tcr/routing/valiant.hpp"
 #include "tcr/sim/simulator.hpp"
+#include "tcr/trace/tracer.hpp"
 #include "tcr/traffic/sampler.hpp"
 #include "tcr/util/rng.hpp"
 
@@ -142,6 +144,57 @@ void BM_ObsScopedTimerEnabled(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ObsScopedTimerEnabled);
+
+// Disabled-tracing span cost: what every instrumented call site pays when
+// no --trace flag is given. Should stay within noise of
+// BM_ObsScopedTimerDisabled — both are a relaxed atomic load and a
+// predicted-not-taken branch; CI's overhead guard asserts the ratio.
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  trace::Tracer::instance().stop();
+  for (auto _ : state) {
+    trace::Span span("bench.trace.span");
+    span.attr("i", 1);
+    span.attr("x", 0.5);
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+// Enabled-tracing span cost: two clock reads, attr copies, and one
+// mutex-protected ring-buffer push per span.
+void BM_TraceSpanEnabled(benchmark::State& state) {
+  trace::TracerConfig cfg;
+  cfg.capacity = 1 << 16;
+  trace::Tracer::instance().start(cfg);
+  for (auto _ : state) {
+    trace::Span span("bench.trace.span");
+    span.attr("i", 1);
+    span.attr("x", 0.5);
+    benchmark::DoNotOptimize(&span);
+  }
+  trace::Tracer::instance().stop();
+  trace::Tracer::instance().clear();
+}
+BENCHMARK(BM_TraceSpanEnabled);
+
+// End-to-end solver cost with tracing collecting (spans + sampled
+// convergence counters). Compare against BM_CapacityLP (tracing off) and
+// BM_CapacityLPTimed (obs timing on) for the full overhead picture.
+void BM_CapacityLPTraced(benchmark::State& state) {
+  const Torus t(static_cast<int>(state.range(0)));
+  trace::TracerConfig cfg;
+  cfg.capacity = 1 << 16;
+  trace::Tracer::instance().start(cfg);
+  for (auto _ : state) {
+    SymmetricDesignConfig dcfg;
+    dcfg.objective = DesignObjective::Uniform;
+    SymmetricArcDesign design(t, dcfg);
+    benchmark::DoNotOptimize(design.solve().objective);
+  }
+  trace::Tracer::instance().stop();
+  trace::Tracer::instance().clear();
+}
+BENCHMARK(BM_CapacityLPTraced)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_SimulatorCycles(benchmark::State& state) {
   const Torus t(4);

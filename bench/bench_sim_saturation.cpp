@@ -7,7 +7,9 @@
 //
 // Flags: --k (default 4), --cycles (default 3000), --patterns
 // (comma-free: runs uniform + complement + tornado), --json <path>
-// (one JSON record per algorithm x pattern, with the sim obs snapshot).
+// (one JSON record per algorithm x pattern, with the sim obs snapshot),
+// --trace <path> (Perfetto span trace; sim.epoch spans every
+// --trace-cycles cycles, default 500; see bench::TraceOutput).
 #include "bench_common.hpp"
 
 #include "tcr/metrics/loads.hpp"
@@ -22,6 +24,7 @@ int main(int argc, char** argv) {
   const int cycles = cli.get_int("cycles", 3000);
   bench::JsonOutput jout(cli, "sim_saturation",
                          obs::Json::object().set("k", k).set("cycles", cycles));
+  bench::TraceOutput trace(cli);
 
   bench::banner("Flit-level simulator: measured vs analytic saturation throughput",
                 "extension experiment; k = " + std::to_string(k));
@@ -30,6 +33,7 @@ int main(int argc, char** argv) {
   cfg.warmup_cycles = cycles / 3;
   cfg.measure_cycles = cycles;
   cfg.drain_cycles = 0;
+  if (trace.enabled()) cfg.trace_every_k_cycles = cli.get_int("trace-cycles", 500);
 
   TextTable table({"algorithm", "pattern", "analytic Theta", "sim saturation", "fraction",
                    "deadlock", "lat p50", "lat p95", "lat p99", "lat max"});

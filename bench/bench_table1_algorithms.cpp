@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
                              .set("samples", eval_samples)
                              .set("design_samples", design_samples)
                              .set("skip_design", cli.has("skip-design")));
+  bench::TraceOutput trace(cli);
 
   bench::banner("Table 1 / Figure 1 & 6 algorithm points — " + std::to_string(k) +
                     "-ary 2-cube",

@@ -6,6 +6,7 @@
 
 #include "tcr/graph/symmetry.hpp"
 #include "tcr/obs/registry.hpp"
+#include "tcr/trace/tracer.hpp"
 #include "tcr/util/check.hpp"
 
 namespace tcr {
@@ -276,7 +277,10 @@ DesignResult SymmetricArcDesign::solve(const lp::SimplexOptions& opts,
   met.solves.add(1);
   lp::Solution sol;
   {
-    obs::ScopedTimer t(met.t_solve);
+    trace::Span t("design.solve", met.t_solve);
+    t.attr("rows", model_.num_rows());
+    t.attr("cols", model_.num_cols());
+    t.attr("nnz", static_cast<std::int64_t>(model_.num_terms()));
     if (warm != nullptr && !warm->empty() && locality_row_ >= 0) {
       // The only row a sweep edits between solves is the locality bound;
       // annotating it lets the warm-start repair aim its reentry pivot at
@@ -287,6 +291,8 @@ DesignResult SymmetricArcDesign::solve(const lp::SimplexOptions& opts,
     } else {
       sol = lp::solve(model_, opts, warm);
     }
+    t.attr("status", lp::to_string(sol.status));
+    t.attr("warm_start", sol.warm_start);
   }
   DesignResult res;
   res.status = sol.status;
@@ -294,6 +300,7 @@ DesignResult SymmetricArcDesign::solve(const lp::SimplexOptions& opts,
   res.note = sol.note;
   res.certificate = sol.certificate;
   res.basis = std::move(sol.basis);
+  res.warm_start = sol.warm_start;
   if (sol.status != lp::Status::Optimal) return res;
   res.objective = sol.objective;
   met.last_objective.set(sol.objective);

@@ -77,6 +77,9 @@ struct DesignResult {
   /// Final simplex basis (exported on every outcome); feed it back into
   /// solve() of an incrementally-updated design to warm-start.
   lp::Basis basis;
+  /// Warm-start adoption outcome of the underlying LP solve
+  /// ("cold"/"accepted"/"repaired"/"rejected"; see lp::Solution::warm_start).
+  std::string warm_start = "cold";
 };
 
 class SymmetricArcDesign {

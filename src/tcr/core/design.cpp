@@ -5,6 +5,7 @@
 #include "tcr/graph/symmetry.hpp"
 #include "tcr/lp/certify.hpp"
 #include "tcr/matching/hungarian.hpp"
+#include "tcr/trace/tracer.hpp"
 #include "tcr/traffic/patterns.hpp"
 #include "tcr/util/check.hpp"
 
@@ -39,8 +40,10 @@ OptimalDesign lexicographic(const Torus& torus, DesignObjective objective,
   lp::Basis stage1_basis;
   int stage1_rows = 0, stage1_cols = 0;
   {
+    trace::Span span("design.lexicographic.stage1");
     SymmetricArcDesign stage1(torus, cfg);
     DesignResult r1 = stage1.solve(opts);
+    span.attr("status", lp::to_string(r1.status));
     out.certificate = r1.certificate;
     if (r1.status != lp::Status::Optimal) {
       out.status = r1.status;
@@ -61,6 +64,7 @@ OptimalDesign lexicographic(const Torus& torus, DesignObjective objective,
   if (objective == DesignObjective::WorstCase) cfg2.worst_case_cap = cap;
   if (objective == DesignObjective::Uniform) cfg2.uniform_cap = cap;
   if (objective == DesignObjective::AverageCase) cfg2.average_cap = cap;
+  trace::Span stage2_span("design.lexicographic.stage2");
   SymmetricArcDesign stage2(torus, cfg2);
   // The worst-case/uniform caps only tighten a variable bound, so the
   // stage-2 model keeps stage 1's shape and its optimal basis is a natural
@@ -69,6 +73,8 @@ OptimalDesign lexicographic(const Torus& torus, DesignObjective objective,
   const bool same_shape = stage2.model().num_rows() == stage1_rows &&
                           stage2.model().num_cols() == stage1_cols;
   const DesignResult r2 = stage2.solve(opts, same_shape ? &stage1_basis : nullptr);
+  stage2_span.attr("status", lp::to_string(r2.status));
+  stage2_span.attr("warm_start", r2.warm_start);
   out.status = r2.status;
   out.certificate = lp::worse_certificate(out.certificate, r2.certificate);
   if (r2.status != lp::Status::Optimal) {
@@ -114,6 +120,9 @@ CuttingPlaneResult design_worst_case_cutting_plane(const Torus& torus,
   add_orbit(tornado_permutation(torus));  // cheap warm start
 
   for (out.rounds = 1; out.rounds <= max_rounds; ++out.rounds) {
+    trace::Span round_span("design.cutting_plane.round");
+    round_span.attr("round", out.rounds);
+    round_span.attr("cuts", static_cast<std::int64_t>(out.cuts.size()));
     SymmetricDesignConfig cfg;
     cfg.objective = DesignObjective::WorstCase;
     cfg.worst_case_exact_block = false;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "tcr/trace/tracer.hpp"
 #include "tcr/util/check.hpp"
 
 namespace tcr {
@@ -24,10 +25,24 @@ std::vector<TradeoffPoint> sweep(const Torus& torus, DesignObjective objective,
   if (chains <= 0) chains = on_pool ? static_cast<int>(pool->size()) : 1;
   chains = std::min(chains, n);
 
+  // The sweep span is created on the calling thread; chains run on pool
+  // workers, so each chain span parents to it explicitly — the explicit link
+  // covers the serial and pooled execution paths identically (ThreadPool::
+  // submit also hands the ambient context over for everything else spawned
+  // inside a chain).
+  trace::Span sweep_span("sweep");
+  sweep_span.attr("points", n);
+  sweep_span.attr("chains", chains);
+  sweep_span.attr("warm_start", sweep_cfg.warm_start);
+  const trace::SpanContext sweep_ctx = sweep_span.context();
+
   // One chain = one contiguous block of points sharing a single design
   // model: the constraint matrix is built once, only the locality bound
   // moves between points, and each point's basis warm-starts the next.
   auto run_chain = [&](int begin, int end) {
+    trace::Span chain_span("sweep.chain", sweep_ctx);
+    chain_span.attr("begin", begin);
+    chain_span.attr("end", end);
     SymmetricDesignConfig cfg;
     cfg.objective = objective;
     cfg.samples = samples;
@@ -36,6 +51,7 @@ std::vector<TradeoffPoint> sweep(const Torus& torus, DesignObjective objective,
     SymmetricArcDesign design(torus, cfg);
     lp::Basis warm;
     for (int i = begin; i < end; ++i) {
+      trace::Span point_span("sweep.point");
       if (i > begin) design.set_locality_bound(localities[i] * hmin);
       DesignResult res = design.solve(
           opts, sweep_cfg.warm_start && !warm.empty() ? &warm : nullptr);
@@ -43,9 +59,16 @@ std::vector<TradeoffPoint> sweep(const Torus& torus, DesignObjective objective,
       out[i].status = res.status;
       out[i].note = res.note;
       out[i].certificate = res.certificate;
+      out[i].warm_start = res.warm_start;
       if (res.status == lp::Status::Optimal && res.objective > 0.0) {
         out[i].capacity_fraction = ideal / res.objective;
       }
+      point_span.attr("index", i);
+      point_span.attr("locality", localities[i]);
+      point_span.attr("status", lp::to_string(res.status));
+      point_span.attr("warm_start", res.warm_start);
+      point_span.attr("capacity_fraction", out[i].capacity_fraction);
+      point_span.attr("iterations", static_cast<std::int64_t>(res.iterations));
       if (sweep_cfg.warm_start) warm = std::move(res.basis);
     }
   };

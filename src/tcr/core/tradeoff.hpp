@@ -29,6 +29,9 @@ struct TradeoffPoint {
   lp::Status status = lp::Status::Numerical;  ///< LP stop status of the point
   std::string note;                ///< solver stop diagnosis when not Optimal
   lp::Certificate certificate;     ///< independent KKT check of the point's LP
+  /// Warm-start adoption outcome of the point's solve ("cold"/"accepted"/
+  /// "repaired"/"rejected"; see lp::Solution::warm_start).
+  std::string warm_start = "cold";
 
   bool solved() const { return status == lp::Status::Optimal; }
 };

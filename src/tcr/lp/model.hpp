@@ -104,6 +104,11 @@ struct Solution {
   /// Final simplex basis, exported on every outcome (including failures, so
   /// the recovery ladder and sweep chaining can restart from it).
   Basis basis;
+  /// How the supplied warm basis fared: "cold" (none supplied), "accepted"
+  /// (adopted unchanged), "repaired" (adopted after patching) or "rejected"
+  /// (unusable; the solve cold-started). Mirrors the lp.warmstart.* obs
+  /// counters, per solve instead of in aggregate.
+  std::string warm_start = "cold";
 
   bool optimal() const { return status == Status::Optimal; }
 };

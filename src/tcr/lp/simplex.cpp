@@ -13,6 +13,7 @@
 #include "tcr/lp/scaling.hpp"
 #include "tcr/lp/standard_form.hpp"
 #include "tcr/obs/registry.hpp"
+#include "tcr/trace/tracer.hpp"
 #include "tcr/util/check.hpp"
 #include "tcr/util/rng.hpp"
 
@@ -123,7 +124,20 @@ class RevisedSimplex {
   }
 
   Solution run() {
-    obs::ScopedTimer total(met_.t_total);
+    // One span per solve; the same object feeds the t_total registry timer
+    // (Span's dual-consumer form), so the site is not instrumented twice.
+    trace::Span span("lp.solve", met_.t_total);
+    span.attr("m", m_);
+    span.attr("n", n_);
+    Solution sol = run_impl();
+    span.attr("status", to_string(sol.status));
+    span.attr("iterations", sol.iterations);
+    span.attr("warm_start", sol.warm_start);
+    return sol;
+  }
+
+ private:
+  Solution run_impl() {
     met_.solves.add(1);
     Solution sol;
     WarmAdopt warm = WarmAdopt::kRejected;
@@ -146,7 +160,7 @@ class RevisedSimplex {
         // artificial load to zero.
         Status s1;
         {
-          obs::ScopedTimer t(met_.t_phase1);
+          trace::Span t("lp.phase1", met_.t_phase1);
           s1 = optimize(sf_.cost1, /*phase1=*/true);
         }
         sol.phase1_iterations = iters_;
@@ -173,7 +187,7 @@ class RevisedSimplex {
 
     Status s2;
     {
-      obs::ScopedTimer t(met_.t_phase2);
+      trace::Span t("lp.phase2", met_.t_phase2);
       if (opt_.perturb) {
         // Deterministic tiny perturbation breaks massive dual degeneracy in
         // the MCF models; a clean pass with the true costs follows.
@@ -212,6 +226,7 @@ class RevisedSimplex {
     met_.iterations.add(iters_);
     sol.basis.stat.assign(stat_.begin(), stat_.end());
     sol.basis.basic = basic_;
+    sol.warm_start = warm_outcome_;
     switch (sol.status) {
       case Status::Optimal:
         break;
@@ -278,6 +293,7 @@ class RevisedSimplex {
     if (static_cast<int>(warm.basic.size()) != m_ ||
         static_cast<int>(warm.stat.size()) != n_) {
       met_.warm_rejected.add(1);
+      warm_outcome_ = "rejected";
       return WarmAdopt::kRejected;
     }
     bool patched = false;
@@ -318,6 +334,7 @@ class RevisedSimplex {
       const int b = warm.basic[i];
       if (b < 0 || b >= n_ || pos[b] != -1) {
         met_.warm_rejected.add(1);
+        warm_outcome_ = "rejected";
         return WarmAdopt::kRejected;
       }
       pos[b] = i;
@@ -366,6 +383,7 @@ class RevisedSimplex {
       if (!repairable || !refactorize()) {
         restore_crash_basis();
         met_.warm_rejected.add(1);
+        warm_outcome_ = "rejected";
         return WarmAdopt::kRejected;
       }
     }
@@ -407,6 +425,7 @@ class RevisedSimplex {
       }
       if (bad.empty()) {
         (patched ? met_.warm_repaired : met_.warm_accepted).add(1);
+        warm_outcome_ = patched ? "repaired" : "accepted";
         return artificial_load ? WarmAdopt::kPhase1 : WarmAdopt::kFeasible;
       }
       patched = true;
@@ -422,6 +441,7 @@ class RevisedSimplex {
     }
     restore_crash_basis();
     met_.warm_rejected.add(1);
+    warm_outcome_ = "rejected";
     return WarmAdopt::kRejected;
   }
 
@@ -588,7 +608,7 @@ class RevisedSimplex {
   // ---- basis linear algebra -------------------------------------------
 
   bool refactorize() {
-    obs::ScopedTimer t(met_.t_refactor);
+    trace::Span t("lp.refactor", met_.t_refactor);
     met_.refactorizations.add(1);
     ++refactor_count_;
     met_.eta_length.record(static_cast<double>(etas_.size()));
@@ -653,6 +673,26 @@ class RevisedSimplex {
     return obj;
   }
 
+  // Worst basic bound violation (0 when primal-feasible). Telemetry only —
+  // runs on sampled iterations, never in the pivot path.
+  double primal_infeasibility() const {
+    double worst = 0.0;
+    for (int i = 0; i < m_; ++i) {
+      const int j = basic_[i];
+      if (std::isfinite(sf_.lo[j])) worst = std::max(worst, sf_.lo[j] - xb_[i]);
+      if (std::isfinite(sf_.up[j])) worst = std::max(worst, xb_[i] - sf_.up[j]);
+    }
+    return worst;
+  }
+
+  // L2 norm of the DEVEX reference weights: grows as the reference framework
+  // goes stale; drops back to sqrt(n) at each reset.
+  double devex_norm() const {
+    double sq = 0.0;
+    for (const double d : devex_) sq += d * d;
+    return std::sqrt(sq);
+  }
+
   // ---- main loop -------------------------------------------------------
 
   Status optimize(const std::vector<double>& cost, bool phase1) {
@@ -666,6 +706,15 @@ class RevisedSimplex {
     // Kernel timing is hoisted: checked once per optimize() call, not per
     // iteration, so an un-instrumented solve pays nothing for the spans.
     const bool timed = obs::Registry::instance().timing_enabled();
+    // Convergence telemetry cadence, hoisted the same way: 0 (one compare
+    // per iteration) unless a tracer is collecting.
+    const long sample_every =
+        trace::enabled() ? trace::Tracer::instance().simplex_sample_every() : 0;
+    double min_pivot_sampled = kInf;  // min |pivot| since the last sample
+    long last_sampled_iter = -1;      // dedup: re-runs of an iteration
+                                      // (optimality re-confirmation after a
+                                      // refactorize does --iters_) must not
+                                      // emit a second sample
     // DEVEX reference weights (reset per optimize call).
     devex_.assign(n_, 1.0);
 
@@ -721,6 +770,25 @@ class RevisedSimplex {
         }
       }
       pricing_timer.stop();
+
+      // ---- convergence telemetry (sampled every N iterations) ----
+      if (sample_every > 0 && iters_ % sample_every == 0 && iters_ != last_sampled_iter) {
+        last_sampled_iter = iters_;
+        trace::counter("lp.iteration", static_cast<double>(iters_));
+        trace::counter("lp.objective", objective_of(cost));
+        trace::counter("lp.primal_infeas", primal_infeasibility());
+        // Dual infeasibility proxy: the DEVEX winner's reduced-cost
+        // violation (score = viol^2 / weight); 0 at optimality or in Bland
+        // mode, where no scores are computed.
+        trace::counter("lp.dual_infeas",
+                       q >= 0 && !bland ? std::sqrt(best * devex_[q]) : 0.0);
+        trace::counter("lp.devex_norm", devex_norm());
+        trace::counter("lp.eta_len", static_cast<double>(etas_.size()));
+        trace::counter("lp.min_pivot",
+                       std::isfinite(min_pivot_sampled) ? min_pivot_sampled : 0.0);
+        min_pivot_sampled = kInf;
+      }
+
       if (q < 0) {
         // Confirm optimality against a freshly factorized basis.
         if (!fresh_basis) {
@@ -876,6 +944,9 @@ class RevisedSimplex {
       stat_[q] = kBasic;
       xb_[leave] = enter_val;
 
+      if (sample_every > 0)
+        min_pivot_sampled = std::min(min_pivot_sampled, std::abs(w[leave]));
+
       // Numerical alarm: tiny pivot in the transformed column.
       if (std::abs(w[leave]) < 1e-7) {
         if (!refactorize()) return Status::Numerical;
@@ -956,6 +1027,7 @@ class RevisedSimplex {
   int refactor_count_ = 0;
   int unbounded_col_ = -1;
   double phase1_residual_ = 0.0;
+  const char* warm_outcome_ = "cold";
 
   std::vector<VarStatus> stat_;
   std::vector<int> basic_;
@@ -1037,15 +1109,21 @@ Solution solve(const Model& model, const SimplexOptions& options, const Basis* w
                                        &rec.rescued_careful, &rec.rescued_dense};
   const char* names[kNumStages] = {"reseed", "equilibrate", "careful", "dense"};
 
+  const bool stage_enabled[kNumStages] = {options.recover_reseed,
+                                          options.recover_equilibrate,
+                                          options.recover_careful, options.recover_dense};
+
   int stages_run = 0;
   for (int stage = 0; stage < kNumStages && stages_run < options.max_recovery_stages;
        ++stage) {
+    if (!stage_enabled[stage]) continue;
+    const std::string stage_span_name = std::string("lp.recovery.") + names[stage];
+    trace::Span stage_span(stage_span_name);
     Solution cand;
     switch (stage) {
       case kReseed: {
         // Different perturbation seed and the opposite perturbation setting
         // shift the pivot sequence enough to escape most bad bases.
-        if (!options.recover_reseed) continue;
         SimplexOptions o = options;
         o.seed = options.seed * 2654435761ULL + 17;
         o.perturb = !options.perturb;
@@ -1055,7 +1133,6 @@ Solution solve(const Model& model, const SimplexOptions& options, const Basis* w
       case kEquilibrate: {
         // Solve the geometric-mean-equilibrated model and map the solution
         // back; the power-of-two factors make the transform exact.
-        if (!options.recover_equilibrate) continue;
         // The basis transfers: power-of-two scaling keeps the standard-form
         // shape, bound finiteness and basis nonsingularity intact.
         const Scaling s = geometric_mean_scaling(model);
@@ -1069,7 +1146,6 @@ Solution solve(const Model& model, const SimplexOptions& options, const Basis* w
       case kCareful: {
         // Slow but stable: refactorize constantly, drop the perturbation,
         // and fall into Bland pricing almost immediately.
-        if (!options.recover_careful) continue;
         SimplexOptions o = options;
         o.refactor_every = std::min(options.refactor_every, 8);
         o.bland_after = 1;
@@ -1081,7 +1157,6 @@ Solution solve(const Model& model, const SimplexOptions& options, const Basis* w
       case kDense: {
         // Last resort for small models: the dense reference simplex shares
         // no code with the revised solver (explicit inverse, Bland's rule).
-        if (!options.recover_dense) continue;
         if (model.num_rows() + model.num_cols() > options.dense_fallback_max_dim) {
           history += "; dense: skipped (model too large)";
           continue;
@@ -1093,7 +1168,11 @@ Solution solve(const Model& model, const SimplexOptions& options, const Basis* w
     ++stages_run;
     rec.attempts.add(1);
     met.retries.add(1);
-    if (accept(cand)) {
+    const bool rescued_here = accept(cand);
+    stage_span.attr("status", to_string(cand.status));
+    stage_span.attr("rescued", rescued_here);
+    stage_span.end();
+    if (rescued_here) {
       rescued[stage]->add(1);
       return cand;
     }

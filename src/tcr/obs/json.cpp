@@ -40,10 +40,19 @@ void dump_double(std::ostream& os, double v) {
     os << "null";  // strict JSON has no NaN/Inf
     return;
   }
+  if (v == 0.0) {
+    // "-0" would re-parse as the integer 0 and drop the sign; "-0.0" is
+    // unambiguously a double and round-trips the sign bit.
+    os << (std::signbit(v) ? "-0.0" : "0");
+    return;
+  }
   char buf[32];
-  // %.17g round-trips every double; prefer the shorter %.15g when lossless.
-  std::snprintf(buf, sizeof(buf), "%.15g", v);
-  if (std::strtod(buf, nullptr) != v) std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // max_digits10 (17) significant digits round-trip every double, including
+  // denormals; prefer the shorter digits10 (15) rendering when it parses
+  // back bit-exactly.
+  std::snprintf(buf, sizeof(buf), "%.*g", std::numeric_limits<double>::digits10, v);
+  if (std::strtod(buf, nullptr) != v)
+    std::snprintf(buf, sizeof(buf), "%.*g", std::numeric_limits<double>::max_digits10, v);
   os << buf;
 }
 
@@ -202,14 +211,19 @@ EventSink::EventSink(std::ostream& os) : os_(&os) {}
 EventSink::EventSink(const std::string& path)
     : file_(path, std::ios::out | std::ios::trunc), os_(&file_) {}
 
-bool EventSink::ok() const { return os_ != nullptr && os_->good(); }
+bool EventSink::ok() const {
+  // The stream's state bits are mutated by write(); take the same mutex so a
+  // health probe never races an in-flight record.
+  std::lock_guard<std::mutex> lock(mu_);
+  return os_ != nullptr && os_->good();
+}
 
 void EventSink::write(const Json& record) {
   std::lock_guard<std::mutex> lock(mu_);
   record.dump(*os_);
   *os_ << '\n';
   os_->flush();
-  ++records_;
+  records_.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace tcr::obs

@@ -6,6 +6,7 @@
 // round-trip precision; NaN/Inf render as null (strict JSON).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <fstream>
 #include <iosfwd>
@@ -108,7 +109,10 @@ Json to_json(const Snapshot& snap);
 Json snapshot_json();
 
 /// JSON-lines sink: one record per line, flushed per write, safe to share
-/// across threads.
+/// across threads. All members are thread-safe: write() serializes under a
+/// mutex, ok() takes the same mutex (stream state bits are written by
+/// write()), and records_written() is an atomic read — so a concurrent
+/// reader never races a writer (tests/test_obs.cpp covers this under TSan).
 class EventSink {
  public:
   /// Write to an externally-owned stream (not closed on destruction).
@@ -118,13 +122,13 @@ class EventSink {
 
   bool ok() const;
   void write(const Json& record);
-  std::int64_t records_written() const { return records_; }
+  std::int64_t records_written() const { return records_.load(std::memory_order_relaxed); }
 
  private:
   std::ofstream file_;
   std::ostream* os_;
-  std::mutex mu_;
-  std::int64_t records_ = 0;
+  mutable std::mutex mu_;
+  std::atomic<std::int64_t> records_{0};
 };
 
 }  // namespace tcr::obs

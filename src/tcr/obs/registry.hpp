@@ -87,7 +87,20 @@ class Timer {
 /// Bucket 0 holds values in [0, least); bucket i >= 1 holds
 /// [least * growth^(i-1), least * growth^i). Percentiles interpolate
 /// linearly inside the containing bucket and are clamped to the observed
-/// [min, max], so relative error is bounded by the growth factor.
+/// [min, max].
+///
+/// Quantile bias bound: only the bucket of a sample is stored, so a
+/// percentile query returns some point of the containing bucket [lo,
+/// lo*growth). The true quantile v is also in that bucket, hence the
+/// estimate e satisfies |e - v| <= (growth - 1) * lo <= (growth - 1) * v:
+/// the relative error of any percentile is < growth - 1 (e.g. < 100% at the
+/// default growth 2.0, < 20% at growth 1.2). Caveats: bucket 0 is linear,
+/// so near-zero values carry absolute (not relative) error < least; values
+/// beyond the last bucket boundary (least * growth^(kNumBuckets-1), ~8.6
+/// for least 1e-3 at growth 1.1 but astronomically large at the default
+/// growth 2.0) saturate into the top bucket, voiding the bound; and the
+/// [min, max] clamp makes the p0/p100 endpoints exact. The bound is pinned
+/// by Histogram.QuantileRelativeErrorBounded (tests/test_obs.cpp).
 class Histogram {
  public:
   static constexpr int kNumBuckets = 96;
@@ -136,6 +149,8 @@ struct Snapshot {
     double wall_seconds = 0.0;
     double cpu_seconds = 0.0;
   };
+  /// min/max/sum are exact; the percentiles inherit the log-bucket quantile
+  /// bias documented on Histogram (relative error < growth - 1).
   struct HistogramValue {
     std::int64_t count = 0;
     double sum = 0.0;

@@ -195,10 +195,42 @@ void Simulator::step() {
   }
   ++cycle_;
   if (measuring_ && cycle_ - window_start_ >= cfg_.stats_window) sample_window();
+  if (trace_k_ != 0 && cycle_ - epoch_start_cycle_ >= trace_k_) {
+    end_epoch();
+    begin_epoch();
+  }
+}
+
+void Simulator::begin_epoch() {
+  if (trace_k_ == 0) return;
+  epoch_span_ = std::make_unique<trace::Span>("sim.epoch");
+  epoch_span_->attr("epoch", epoch_index_);
+  epoch_span_->attr("start_cycle", cycle_);
+  epoch_start_cycle_ = cycle_;
+  epoch_injected_ = stats_.injected;
+  epoch_ejected_ = stats_.ejected;
+}
+
+void Simulator::end_epoch() {
+  if (epoch_span_ == nullptr) return;
+  const long injected = stats_.injected - epoch_injected_;
+  const long ejected = stats_.ejected - epoch_ejected_;
+  epoch_span_->attr("cycles", cycle_ - epoch_start_cycle_);
+  epoch_span_->attr("injected", injected);
+  epoch_span_->attr("ejected", ejected);
+  // Counter tracks alongside the spans: cumulative flit totals, sampled once
+  // per epoch, grouped under the epoch's parent (the phase span).
+  epoch_span_.reset();
+  trace::counter("sim.injected", static_cast<double>(stats_.injected));
+  trace::counter("sim.ejected", static_cast<double>(stats_.ejected));
+  ++epoch_index_;
 }
 
 SimStats Simulator::run() {
   SimMetrics::get().runs.add(1);
+  trace::Span run_span("sim.run");
+  trace_k_ = cfg_.trace_every_k_cycles > 0 && trace::enabled() ? cfg_.trace_every_k_cycles
+                                                               : 0;
   auto deadlock_check = [&] {
     if (!network_empty() && cycle_ - last_movement_ > cfg_.deadlock_threshold) {
       stats_.deadlocked = true;
@@ -207,11 +239,18 @@ SimStats Simulator::run() {
     return false;
   };
 
-  for (int i = 0; i < cfg_.warmup_cycles; ++i) {
-    step();
-    if (deadlock_check()) break;
+  {
+    trace::Span phase("sim.warmup");
+    begin_epoch();
+    for (int i = 0; i < cfg_.warmup_cycles; ++i) {
+      step();
+      if (deadlock_check()) break;
+    }
+    end_epoch();
   }
   if (!stats_.deadlocked) {
+    trace::Span phase("sim.measure");
+    begin_epoch();
     measuring_ = true;
     window_start_ = cycle_;
     for (int i = 0; i < cfg_.measure_cycles; ++i) {
@@ -220,16 +259,24 @@ SimStats Simulator::run() {
     }
     if (cycle_ > window_start_) sample_window();  // flush the partial window
     measuring_ = false;
+    end_epoch();
   }
   if (!stats_.deadlocked) {
+    trace::Span phase("sim.drain");
+    begin_epoch();
     draining_ = true;
     for (int i = 0; i < cfg_.drain_cycles && !network_empty(); ++i) {
       step();
       if (deadlock_check()) break;
     }
+    end_epoch();
   }
 
   stats_.cycles_run = cycle_;
+  run_span.attr("cycles", stats_.cycles_run);
+  run_span.attr("injected", stats_.injected);
+  run_span.attr("ejected", stats_.ejected);
+  run_span.attr("deadlocked", stats_.deadlocked);
   const double node_cycles = static_cast<double>(torus_.num_nodes()) * cfg_.measure_cycles;
   stats_.offered_rate = static_cast<double>(measured_injected_) / node_cycles;
   stats_.accepted_rate = static_cast<double>(measured_ejected_) / node_cycles;

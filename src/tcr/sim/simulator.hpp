@@ -12,11 +12,13 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "tcr/obs/registry.hpp"
 #include "tcr/sim/network.hpp"
 #include "tcr/sim/traffic_gen.hpp"
+#include "tcr/trace/tracer.hpp"
 
 namespace tcr::fault {
 struct SimFaultPlan;
@@ -32,6 +34,11 @@ struct SimConfig {
   int drain_cycles = 20000;       // post-measurement drain budget
   int deadlock_threshold = 2000;  // quiet cycles before declaring deadlock
   int stats_window = 500;         // cycles per injection/ejection-rate sample
+  /// Emit one sim.epoch trace span (with that epoch's injected/ejected flit
+  /// counts) plus sim.injected / sim.ejected counter samples every this many
+  /// cycles while a tracer is collecting. 0 = off; the knob costs one
+  /// comparison per cycle only when tracing is enabled at run() start.
+  int trace_every_k_cycles = 0;
   std::uint64_t seed = 42;
   /// Optional fault-injection plan (tcr::fault): links down and credit
   /// stalls during cycle windows. Not owned; must outlive the run.
@@ -74,6 +81,10 @@ class Simulator {
   void step();
   void sample_window();
   bool network_empty() const;
+  // Per-epoch tracing (trace_every_k_cycles): epochs never straddle a phase
+  // (warmup/measure/drain) boundary, so the span stack stays well-nested.
+  void begin_epoch();
+  void end_epoch();
 
   const Torus& torus_;
   TrafficGen& gen_;
@@ -103,6 +114,15 @@ class Simulator {
   long window_start_ = 0;
   long window_injected_ = 0;
   long window_ejected_ = 0;
+
+  // Epoch-tracing state; trace_k_ is resolved once per run() (0 when tracing
+  // was disabled at run start, so step() pays a single integer compare).
+  int trace_k_ = 0;
+  std::unique_ptr<trace::Span> epoch_span_;
+  long epoch_index_ = 0;
+  long epoch_start_cycle_ = 0;
+  long epoch_injected_ = 0;  // stats_.injected at epoch start
+  long epoch_ejected_ = 0;   // stats_.ejected at epoch start
 };
 
 /// Convenience wrapper: simulate `routing` under uniform or permutation

@@ -1,0 +1,78 @@
+#include "tcr/trace/export.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "tcr/obs/json.hpp"
+
+namespace tcr::trace {
+
+namespace {
+
+obs::Json attr_json(const Attr& a) {
+  switch (a.kind) {
+    case Attr::Kind::kInt: return obs::Json(static_cast<long long>(a.i));
+    case Attr::Kind::kDouble: return obs::Json(a.d);
+    case Attr::Kind::kBool: return obs::Json(a.b);
+    case Attr::Kind::kString: return obs::Json(a.s);
+  }
+  return obs::Json();
+}
+
+obs::Json event_json(const Event& e) {
+  auto j = obs::Json::object();
+  j.set("ph", e.type == Event::Type::kSpan ? "X" : "C")
+      .set("name", e.name)
+      .set("cat", "tcr")
+      .set("pid", 1)
+      .set("tid", static_cast<long long>(e.tid))
+      // The trace-event spec's ts/dur unit is microseconds; fractional
+      // values keep the nanosecond resolution.
+      .set("ts", static_cast<double>(e.start_ns) * 1e-3);
+  auto args = obs::Json::object();
+  if (e.type == Event::Type::kSpan) {
+    j.set("dur", static_cast<double>(e.dur_ns) * 1e-3);
+    args.set("span_id", static_cast<long long>(e.id))
+        .set("parent", static_cast<long long>(e.parent));
+    for (const Attr& a : e.attrs) args.set(a.key, attr_json(a));
+  } else {
+    args.set("value", e.value);
+    if (e.parent != 0) args.set("parent", static_cast<long long>(e.parent));
+  }
+  j.set("args", std::move(args));
+  return j;
+}
+
+}  // namespace
+
+void write_chrome_trace(const std::vector<Event>& events, std::ostream& os,
+                        std::int64_t dropped) {
+  os << "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"producer\":\"tcr::trace\","
+        "\"dropped_events\":"
+     << dropped << "},\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events) {
+    if (!first) os << ",\n";
+    first = false;
+    event_json(e).dump(os);
+  }
+  os << "]}\n";
+}
+
+bool export_chrome_trace(const std::string& path, std::string* error) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out) {
+    if (error) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  auto& tracer = Tracer::instance();
+  write_chrome_trace(tracer.events(), out, tracer.dropped());
+  out.flush();
+  if (!out.good()) {
+    if (error) *error = "write to '" + path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace tcr::trace

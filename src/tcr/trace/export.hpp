@@ -1,0 +1,31 @@
+// Chrome trace-event / Perfetto JSON export of a tcr::trace event buffer.
+//
+// The output is the JSON object format of the Chrome trace-event spec
+// ({"traceEvents": [...]}) which loads directly in Perfetto
+// (https://ui.perfetto.dev) and chrome://tracing:
+//   * spans become complete events (ph "X") with microsecond ts/dur; span
+//     ids and parent links travel in args.span_id / args.parent so
+//     cross-thread hierarchy survives even where timestamp nesting cannot
+//     express it, alongside every span attribute;
+//   * counter samples become counter events (ph "C") whose args carry the
+//     value — Perfetto renders each name as a counter track.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tcr/trace/tracer.hpp"
+
+namespace tcr::trace {
+
+/// Serialize `events` as Chrome trace-event JSON. `dropped` (> 0) is
+/// recorded in the trace metadata so consumers know the ring overflowed.
+void write_chrome_trace(const std::vector<Event>& events, std::ostream& os,
+                        std::int64_t dropped = 0);
+
+/// Export the process-wide tracer's buffer to `path`. Returns false (and
+/// fills *error) when the file cannot be written.
+bool export_chrome_trace(const std::string& path, std::string* error);
+
+}  // namespace tcr::trace

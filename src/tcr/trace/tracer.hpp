@@ -1,0 +1,251 @@
+// tcr::trace — low-overhead hierarchical span tracing.
+//
+// Model, in order of importance:
+//   * near-zero cost when nobody is looking: the enabled flag is a single
+//     relaxed atomic load, so a Span on a disabled tracer costs one branch
+//     at construction and one at destruction — no clock reads, no
+//     allocation, no registry traffic (asserted by tests/test_trace.cpp and
+//     the BM_TraceSpanDisabled micro-kernel);
+//   * hierarchy without plumbing: each thread keeps a current-span cursor,
+//     so nested spans link to their enclosing span automatically. Structure
+//     survives a hop onto the ThreadPool because ThreadPool::submit()
+//     captures the scheduling thread's SpanContext and installs it as the
+//     worker's ambient parent (ScopedParent) for the duration of the task;
+//   * one call site, two consumers: the Span(name, timer) form feeds the
+//     existing obs::Registry Timer under the same condition obs::ScopedTimer
+//     did (Registry::timing_enabled()), emits a trace event when tracing is
+//     enabled, and reads clocks only when at least one of the two wants the
+//     span. Call sites are never instrumented twice.
+//
+// Events land in a bounded in-memory ring buffer (oldest overwritten,
+// drops counted). trace::write_chrome_trace() (export.hpp) serializes the
+// buffer as Chrome trace-event JSON, which loads in Perfetto and
+// chrome://tracing; tools/tcr_trace.cpp turns a trace file into flame
+// summaries and simplex convergence reports.
+//
+// Counter events (trace::counter) form Perfetto counter tracks — the
+// per-iteration simplex convergence telemetry (lp.objective,
+// lp.primal_infeas, ...) and the simulator's flit counts. Each counter
+// carries the current span as parent so tools can group telemetry per
+// solve.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "tcr/obs/registry.hpp"
+
+namespace tcr::trace {
+
+namespace detail {
+// The global enabled flag lives outside the Tracer singleton so the
+// disabled-span fast path is one relaxed load — no function-local-static
+// guard check.
+inline std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+/// Is tracing currently collecting events? One relaxed atomic load.
+inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// One key/value span attribute (small tagged union).
+struct Attr {
+  enum class Kind : std::uint8_t { kInt, kDouble, kBool, kString };
+  std::string key;
+  Kind kind = Kind::kInt;
+  std::int64_t i = 0;
+  double d = 0.0;
+  bool b = false;
+  std::string s;
+};
+
+/// One trace event: a completed span or a counter sample.
+struct Event {
+  enum class Type : std::uint8_t { kSpan, kCounter };
+  Type type = Type::kSpan;
+  std::string name;
+  std::uint64_t id = 0;       // span id (unique per Tracer::start); 0 for counters
+  std::uint64_t parent = 0;   // enclosing span id; 0 = root
+  std::uint32_t tid = 0;      // dense per-thread index (0 = first thread seen)
+  std::int64_t start_ns = 0;  // monotonic, relative to the Tracer::start() epoch
+  std::int64_t dur_ns = 0;    // span duration; 0 for counters
+  double value = 0.0;         // counter value; unused for spans
+  std::vector<Attr> attrs;
+};
+
+struct TracerConfig {
+  /// Ring-buffer capacity in events; the oldest events are overwritten once
+  /// full (Tracer::dropped() counts the overwrites).
+  std::size_t capacity = 1 << 18;
+  /// The simplex convergence-telemetry stream samples every this many
+  /// iterations (objective, infeasibilities, DEVEX norm, eta length,
+  /// minimum pivot). Larger = cheaper and coarser.
+  int simplex_sample_every = 32;
+};
+
+/// Handle to a live (or root) span, used for explicit cross-thread parent
+/// links. id == 0 means "no parent" (a root span).
+struct SpanContext {
+  std::uint64_t id = 0;
+};
+
+/// Process-wide trace collector. All methods are thread-safe.
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Enable collection: clears the buffer, resets the clock epoch and span
+  /// ids, and flips the global enabled flag.
+  void start(const TracerConfig& config = {});
+  /// Stop collecting. Buffered events survive for export.
+  void stop();
+  /// Drop all buffered events (does not change the enabled flag).
+  void clear();
+
+  bool is_enabled() const noexcept { return enabled(); }
+  std::size_t capacity() const;
+  int simplex_sample_every() const noexcept {
+    return sample_every_.load(std::memory_order_relaxed);
+  }
+
+  /// Events overwritten because the ring buffer was full.
+  std::int64_t dropped() const;
+  /// Copy of the buffered events, oldest first.
+  std::vector<Event> events() const;
+
+  // --- internal API used by Span / counter() -------------------------------
+  std::int64_t now_ns() const noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+  std::uint64_t next_span_id() noexcept {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record(Event&& e);
+
+ private:
+  Tracer() = default;
+
+  mutable std::mutex mu_;
+  std::vector<Event> ring_;
+  std::size_t capacity_ = 1 << 18;
+  std::size_t head_ = 0;  // overwrite cursor once the ring is full
+  std::int64_t dropped_ = 0;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<int> sample_every_{32};
+  std::chrono::steady_clock::time_point epoch_{};
+};
+
+namespace detail {
+// Per-thread cursor: the innermost live span plus the ambient parent a
+// ThreadPool task adopted from its scheduler.
+struct ThreadState {
+  std::uint64_t current = 0;  // innermost live span on this thread
+  std::uint64_t adopted = 0;  // ambient parent for root spans (pool handoff)
+  std::uint32_t tid = 0;
+  bool tid_assigned = false;
+};
+ThreadState& thread_state() noexcept;
+std::uint32_t thread_id() noexcept;
+}  // namespace detail
+
+/// Context of the innermost live span on this thread (the ambient parent
+/// when no span is live). Cheap enough to capture unconditionally.
+inline SpanContext current_context() noexcept {
+  const auto& ts = detail::thread_state();
+  return {ts.current != 0 ? ts.current : ts.adopted};
+}
+
+/// Installs `ctx` as this thread's ambient parent: spans opened while it is
+/// in scope (and not nested in another live span) parent to `ctx`.
+/// ThreadPool::submit() wraps every task in one of these so work scheduled
+/// from inside a span stays attached to it across threads.
+class ScopedParent {
+ public:
+  explicit ScopedParent(SpanContext ctx) noexcept
+      : saved_(detail::thread_state().adopted) {
+    detail::thread_state().adopted = ctx.id;
+  }
+  ScopedParent(const ScopedParent&) = delete;
+  ScopedParent& operator=(const ScopedParent&) = delete;
+  ~ScopedParent() { detail::thread_state().adopted = saved_; }
+
+ private:
+  std::uint64_t saved_;
+};
+
+/// RAII hierarchical span. Construction captures the parent (innermost live
+/// span on this thread, the adopted ambient parent, or an explicit
+/// SpanContext) and the start time; destruction emits the completed event.
+/// All methods are no-ops when the tracer was disabled at construction.
+class Span {
+ public:
+  explicit Span(std::string_view name) : Span(name, nullptr, SpanContext{}, false) {}
+  /// Explicit cross-thread parent (overrides the thread-local cursor).
+  Span(std::string_view name, SpanContext parent)
+      : Span(name, nullptr, parent, true) {}
+  /// Span that also feeds an obs::Timer — the drop-in replacement for
+  /// obs::ScopedTimer at sites that should appear in traces. The timer is
+  /// fed exactly when obs::Registry::timing_enabled() (unchanged obs
+  /// semantics); the trace event is emitted exactly when trace::enabled().
+  Span(std::string_view name, obs::Timer& timer)
+      : Span(name, &timer, SpanContext{}, false) {}
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { end(); }
+
+  /// Live-span context for handing to explicitly-parented child spans.
+  SpanContext context() const noexcept { return {id_}; }
+
+  /// Attach a key/value attribute (exported into the trace event's args).
+  /// No-ops (and does not allocate) when the span is disabled.
+  void attr(std::string_view key, std::int64_t v);
+  void attr(std::string_view key, int v) { attr(key, static_cast<std::int64_t>(v)); }
+  void attr(std::string_view key, double v);
+  void attr(std::string_view key, bool v);
+  void attr(std::string_view key, std::string_view v);
+  void attr(std::string_view key, const char* v) { attr(key, std::string_view(v)); }
+
+  /// End the span early (idempotent; the destructor is then a no-op).
+  void end();
+
+ private:
+  Span(std::string_view name, obs::Timer* timer, SpanContext parent, bool explicit_parent);
+
+  std::string_view name_;
+  obs::Timer* timer_ = nullptr;
+  bool traced_ = false;
+  bool timed_ = false;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  std::uint64_t saved_current_ = 0;
+  std::int64_t start_ns_ = 0;
+  double cpu_start_ = 0.0;
+  std::vector<Attr> attrs_;
+};
+
+/// Emit one sample of the counter track `track` (a Perfetto counter track).
+/// One branch when tracing is disabled.
+inline void counter(std::string_view track, double value) {
+  if (!enabled()) return;
+  auto& tracer = Tracer::instance();
+  Event e;
+  e.type = Event::Type::kCounter;
+  e.name.assign(track.data(), track.size());
+  e.parent = current_context().id;
+  e.tid = detail::thread_id();
+  e.start_ns = tracer.now_ns();
+  e.value = value;
+  tracer.record(std::move(e));
+}
+
+}  // namespace tcr::trace

@@ -15,6 +15,8 @@
 #include <utility>
 #include <vector>
 
+#include "tcr/trace/tracer.hpp"
+
 namespace tcr {
 
 class ThreadPool {
@@ -29,6 +31,12 @@ class ThreadPool {
   std::size_t size() const { return workers_.size(); }
 
   /// Enqueue a task; returns a future for its result.
+  ///
+  /// The scheduling thread's trace::SpanContext travels with the task: the
+  /// worker installs it as its ambient parent (trace::ScopedParent) for the
+  /// duration of the call, so spans the task opens link to the span that was
+  /// live at submit() time rather than floating as roots. Capturing the
+  /// context is two thread-local reads — free enough to do unconditionally.
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -36,7 +44,10 @@ class ThreadPool {
     std::future<R> fut = task->get_future();
     {
       std::lock_guard lock(mutex_);
-      queue_.emplace([task] { (*task)(); });
+      queue_.emplace([task, ctx = trace::current_context()] {
+        trace::ScopedParent parent(ctx);
+        (*task)();
+      });
     }
     cv_.notify_one();
     return fut;

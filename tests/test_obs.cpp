@@ -3,7 +3,11 @@
 // (parseable, stable key order, round-trip doubles).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <limits>
 #include <sstream>
 #include <string>
@@ -12,6 +16,7 @@
 
 #include "tcr/obs/json.hpp"
 #include "tcr/obs/registry.hpp"
+#include "tcr/report/json_reader.hpp"
 
 namespace tcr::obs {
 namespace {
@@ -235,6 +240,179 @@ TEST(EventSinkTest, WritesOneParseableRecordPerLine) {
     EXPECT_EQ(line.find('\n'), std::string::npos);
   }
   EXPECT_EQ(lines, 2);
+}
+
+// Serialize -> parse must preserve every double bit-exactly (including the
+// sign of -0.0, denormals, and the extremes of the exponent range) — the
+// report layer re-reads bench records and gates golden values on them.
+TEST(JsonTest, DoubleSerializationRoundTripsBitExactly) {
+  const double denorm_min = std::numeric_limits<double>::denorm_min();
+  std::vector<double> cases = {0.0,
+                               -0.0,
+                               1.0,
+                               -1.0,
+                               0.1,
+                               -0.1,
+                               1.0 / 3.0,
+                               6.02214076e23,
+                               -6.02214076e23,
+                               1e-300,
+                               -1e-300,
+                               123456789.123456789,
+                               9007199254740993.0,  // 2^53 + 1 rounds to 2^53
+                               std::numeric_limits<double>::max(),
+                               std::numeric_limits<double>::lowest(),
+                               std::numeric_limits<double>::min(),
+                               denorm_min,
+                               -denorm_min};
+  // Geometric sweep from the smallest denormal to overflow: crosses the
+  // denormal/normal boundary and every binade in between.
+  for (double v = denorm_min; std::isfinite(v); v *= 3.7) cases.push_back(v);
+
+  for (const double v : cases) {
+    const std::string s = Json(v).dump();
+    Json parsed;
+    std::string error;
+    ASSERT_TRUE(report::parse_json(s, &parsed, &error)) << s << ": " << error;
+    ASSERT_TRUE(parsed.is_number()) << s;
+    const double back = parsed.as_number();
+    std::uint64_t v_bits = 0, back_bits = 0;
+    std::memcpy(&v_bits, &v, sizeof v_bits);
+    std::memcpy(&back_bits, &back, sizeof back_bits);
+    // Integral-valued doubles may come back as Kind::Int (e.g. "1"); the
+    // value bits after as_number() must still match exactly.
+    EXPECT_EQ(back_bits, v_bits) << v << " dumped as " << s << " parsed back as " << back;
+  }
+}
+
+// Pin the documented log-bucket quantile bias: any percentile estimate and
+// the true quantile share a bucket [lo, lo*growth), so the relative error
+// is < growth - 1 (see the Histogram doc comment in registry.hpp).
+TEST(Histogram, QuantileRelativeErrorBounded) {
+  for (const double growth : {1.1, 1.5, 2.0, 3.0}) {
+    Histogram h(1e-3, growth);
+    // Deterministic log-uniform values (plain LCG so the test is
+    // reproducible everywhere), spanning the histogram's bucketed range:
+    // past the linear bucket 0 and below the top-bucket saturation point,
+    // which shrinks as growth does (1e-3 * 1.1^95 is only ~8.6).
+    const double range_lo = 1e-3 * growth;
+    const double range_hi = 1e-3 * std::pow(growth, Histogram::kNumBuckets - 2);
+    std::vector<double> vals;
+    std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+    for (int i = 0; i < 20000; ++i) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      const double u = static_cast<double>(state >> 11) * (1.0 / 9007199254740992.0);
+      vals.push_back(std::exp(std::log(range_lo) + u * (std::log(range_hi) - std::log(range_lo))));
+    }
+    for (const double v : vals) h.record(v);
+    std::sort(vals.begin(), vals.end());
+
+    for (const double p : {0.01, 0.10, 0.50, 0.90, 0.95, 0.99}) {
+      const double est = h.percentile(p);
+      // The order statistic the histogram targets: rank p * count, i.e. the
+      // ceil(rank)-th smallest sample (1-based).
+      const double rank = p * static_cast<double>(vals.size());
+      const auto idx = static_cast<std::size_t>(std::ceil(rank)) - 1;
+      const double exact = vals[std::min(idx, vals.size() - 1)];
+      const double rel_err = std::abs(est - exact) / exact;
+      EXPECT_LT(rel_err, growth - 1.0 + 1e-12)
+          << "growth " << growth << " p " << p << " est " << est << " exact " << exact;
+    }
+  }
+}
+
+// ---- thread-safety (exercised under TSan in CI) -------------------------
+
+TEST(EventSinkTest, ConcurrentWritersAndProbesAreRaceFree) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 250;
+  std::ostringstream os;
+  EventSink sink(os);
+
+  std::atomic<bool> done{false};
+  // A monitor thread hammers the read-side API (ok(), records_written())
+  // while writers stream records — the exact pattern JsonOutput uses when a
+  // sweep runs on the ThreadPool.
+  std::thread monitor([&] {
+    std::int64_t last = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      EXPECT_TRUE(sink.ok());
+      const std::int64_t n = sink.records_written();
+      EXPECT_GE(n, last);  // monotone
+      last = n;
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&sink, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto rec = Json::object();
+        rec.set("thread", t).set("i", i);
+        sink.write(rec);
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  done.store(true, std::memory_order_release);
+  monitor.join();
+
+  EXPECT_EQ(sink.records_written(), kThreads * kPerThread);
+  // Writes are serialized: every line is a complete record.
+  std::istringstream is(os.str());
+  std::string line;
+  int lines = 0;
+  std::string error;
+  while (std::getline(is, line)) {
+    ++lines;
+    Json rec;
+    ASSERT_TRUE(report::parse_json(line, &rec, &error)) << error;
+    ASSERT_TRUE(rec.find("thread") != nullptr);
+  }
+  EXPECT_EQ(lines, kThreads * kPerThread);
+}
+
+TEST(Registry, SnapshotWithConcurrentWritersIsRaceFree) {
+  auto& c = Registry::instance().counter("test.conc.counter");
+  auto& g = Registry::instance().gauge("test.conc.gauge");
+  auto& t = Registry::instance().timer("test.conc.timer");
+  auto& h = Registry::instance().histogram("test.conc.hist", 1e-3, 2.0);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 4000;
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kThreads; ++w) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        c.add(1);
+        g.set(static_cast<double>(i));
+        t.add(10, 5);
+        h.record(0.5 + static_cast<double>(i % 7));
+      }
+    });
+  }
+  // Concurrent registration of new metrics plus repeated full snapshots —
+  // the registry's two lock domains (name map, metric values) together.
+  std::thread registrar([] {
+    for (int i = 0; i < 200; ++i) {
+      Registry::instance().counter("test.conc.reg." + std::to_string(i)).add(1);
+    }
+  });
+  std::int64_t last = 0;
+  for (int i = 0; i < 100; ++i) {
+    const Snapshot snap = Registry::instance().snapshot();
+    const auto it = snap.counters.find("test.conc.counter");
+    ASSERT_NE(it, snap.counters.end());
+    EXPECT_GE(it->second, last);  // counter reads are monotone
+    last = it->second;
+  }
+  for (auto& th : writers) th.join();
+  registrar.join();
+
+  const Snapshot fin = Registry::instance().snapshot();
+  EXPECT_EQ(fin.counters.at("test.conc.counter"), kThreads * kIters);
+  EXPECT_EQ(fin.timers.at("test.conc.timer").count, kThreads * kIters);
+  EXPECT_EQ(fin.histograms.at("test.conc.hist").count, kThreads * kIters);
+  EXPECT_EQ(fin.counters.at("test.conc.reg.199"), 1);
 }
 
 }  // namespace

@@ -31,6 +31,10 @@
 //   --k/--samples/--threads N   forwarded to the benches that accept them;
 //                       --k and --samples change the measured quantities, so
 //                       they disable the golden gate (recorded in report.json)
+//   --trace             also collect a span trace per bench: each bench runs
+//                       with --trace <out>/<bench>.trace.json (Perfetto
+//                       loadable, analyzable with tcr-trace); does not affect
+//                       the records or the gate
 //   --list              print the presets and their bench command lines
 //
 // Exit codes:
@@ -128,12 +132,26 @@ std::string shell_quote(const std::string& s) {
 /// Run one bench, teeing stdout/stderr to <out>/<bench>.txt and records to
 /// <out>/<bench>.jsonl. Returns the bench's exit code (-1: could not run).
 int run_bench(const fs::path& bench_dir, const BenchSpec& spec,
-              const std::vector<std::string>& overrides, const fs::path& out_dir) {
+              const std::vector<std::string>& overrides, const fs::path& out_dir,
+              bool with_trace) {
   const fs::path binary = bench_dir / ("bench_" + spec.bench);
   std::string cmd = shell_quote(binary.string());
-  for (const std::string& arg : spec.args) cmd += " " + shell_quote(arg);
-  for (const std::string& arg : overrides) cmd += " " + shell_quote(arg);
-  cmd += " --json " + shell_quote((out_dir / (spec.bench + ".jsonl")).string());
+  // Appends are two-step (no `+= a + b` temporaries): GCC 12's -Wrestrict
+  // misfires on appending a concatenated temporary (PR105651).
+  for (const std::string& arg : spec.args) {
+    cmd += ' ';
+    cmd += shell_quote(arg);
+  }
+  for (const std::string& arg : overrides) {
+    cmd += ' ';
+    cmd += shell_quote(arg);
+  }
+  cmd += " --json ";
+  cmd += shell_quote((out_dir / (spec.bench + ".jsonl")).string());
+  if (with_trace) {
+    cmd += " --trace ";
+    cmd += shell_quote((out_dir / (spec.bench + ".trace.json")).string());
+  }
   cmd += " > " + shell_quote((out_dir / (spec.bench + ".txt")).string()) + " 2>&1";
   const int status = std::system(cmd.c_str());
   if (status == -1) return -1;
@@ -294,7 +312,7 @@ int main(int argc, char** argv) {
         overrides.push_back(cli.get_string("threads", ""));
       }
       std::cout << "running bench_" << spec.bench << " ..." << std::flush;
-      outcome.exit_code = run_bench(bench_dir, spec, overrides, out_dir);
+      outcome.exit_code = run_bench(bench_dir, spec, overrides, out_dir, cli.has("trace"));
       std::cout << (outcome.exit_code == 0 ? " ok" : " FAILED") << "\n";
       if (outcome.exit_code != 0) {
         std::cerr << "error: bench_" << spec.bench << " exited with code " << outcome.exit_code

@@ -1,0 +1,235 @@
+// tcr-trace — trace-driven diagnosis of the Chrome trace-event files
+// written by the benches' --trace flag (bench::TraceOutput) and by
+// `tcr-repro --trace`.
+//
+//   tcr-trace run.trace.json                  # flame summary + slowest spans
+//                                             # + sweep table + convergence
+//   tcr-trace run.trace.json --top 20         # more slowest-span rows
+//   tcr-trace run.trace.json --stall-tol 1e-6 # looser stall detection
+//   tcr-trace --diff warm.json cold.json      # warm-vs-cold span comparison
+//
+// Flags:
+//   --top N         rows in the slowest-spans table (default 10)
+//   --stall-tol X   relative objective-improvement threshold below which a
+//                   sampled simplex interval counts as stalled (default 1e-9)
+//   --solves N      max per-solve convergence rows to print (default 20; the
+//                   summary line always covers every solve)
+//   --diff A B      compare two traces span-name by span-name instead
+//
+// Exit codes: 0 ok, 1 analysis found nothing to report on (no events), 2
+// usage or unreadable/malformed trace file.
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tcr/trace/analysis.hpp"
+#include "tcr/util/table.hpp"
+
+namespace {
+
+using namespace tcr;
+
+/// Human-readable duration: picks ns/us/ms/s by magnitude.
+std::string fmt_ns(std::int64_t ns) {
+  const double v = static_cast<double>(ns);
+  if (ns < 10'000) return TextTable::num(v, 0) + " ns";
+  if (ns < 10'000'000) return TextTable::num(v / 1e3, 1) + " us";
+  if (ns < 10'000'000'000LL) return TextTable::num(v / 1e6, 1) + " ms";
+  return TextTable::num(v / 1e9, 2) + " s";
+}
+
+std::string attr_str(const trace::SpanRec& span, const std::string& key) {
+  const obs::Json* v = span.args.find(key);
+  if (v == nullptr || v->is_null()) return "-";
+  if (v->is_string()) return v->as_string();
+  if (v->is_bool()) return v->as_bool() ? "true" : "false";
+  if (v->kind() == obs::Json::Kind::Int) return std::to_string(v->as_int());
+  return TextTable::num(v->as_number(), 4);
+}
+
+void print_flame(const trace::Trace& trace) {
+  const auto agg = trace::aggregate(trace);
+  std::vector<std::pair<std::string, trace::NameAgg>> rows(agg.begin(), agg.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.self_ns != b.second.self_ns ? a.second.self_ns > b.second.self_ns
+                                                : a.first < b.first;
+  });
+  std::cout << "self-time flame summary (" << trace.spans.size() << " spans):\n";
+  TextTable table({"span", "count", "self", "total", "max", "avg"});
+  for (const auto& [name, a] : rows) {
+    table.add_row({name, std::to_string(a.count), fmt_ns(a.self_ns), fmt_ns(a.total_ns),
+                   fmt_ns(a.max_ns), fmt_ns(a.count > 0 ? a.total_ns / a.count : 0)});
+  }
+  table.print(std::cout);
+}
+
+void print_slowest(const trace::Trace& trace, std::size_t k) {
+  const auto slow = trace::slowest_spans(trace, k);
+  if (slow.empty()) return;
+  std::cout << "\ntop " << slow.size() << " slowest spans:\n";
+  TextTable table({"span", "dur", "tid", "attrs"});
+  for (const trace::SpanRec& s : slow) {
+    std::string attrs;
+    for (const auto& [key, value] : s.args.items()) {
+      if (!attrs.empty()) attrs += " ";
+      attrs += key + "=" + (value.is_string() ? value.as_string() : value.dump());
+    }
+    table.add_row({s.name, fmt_ns(s.dur_ns), std::to_string(s.tid), attrs});
+  }
+  table.print(std::cout);
+}
+
+void print_sweep(const trace::Trace& trace) {
+  const auto points = trace::sweep_points(trace);
+  if (points.empty()) return;
+  std::cout << "\nsweep points (" << points.size() << "):\n";
+  TextTable table({"index", "locality", "status", "warm start", "capacity", "iters", "dur"});
+  for (const trace::SpanRec& pt : points) {
+    table.add_row({attr_str(pt, "index"), attr_str(pt, "locality"), attr_str(pt, "status"),
+                   attr_str(pt, "warm_start"), attr_str(pt, "capacity_fraction"),
+                   attr_str(pt, "iterations"), fmt_ns(pt.dur_ns)});
+  }
+  table.print(std::cout);
+}
+
+void print_convergence(const trace::Trace& trace, double stall_tol, std::size_t max_rows) {
+  const auto reports = trace::convergence_reports(trace, stall_tol);
+  if (reports.empty()) return;
+
+  long total_iters = 0, total_refactors = 0, total_stalls = 0;
+  std::int64_t total_ns = 0;
+  std::map<std::string, int> by_warm;
+  for (const trace::SolveReport& r : reports) {
+    total_iters += r.iterations;
+    total_refactors += r.refactors;
+    total_stalls += r.stall_windows;
+    total_ns += r.dur_ns;
+    ++by_warm[r.warm_start.empty() ? "-" : r.warm_start];
+  }
+  std::cout << "\nsimplex convergence (" << reports.size() << " solves, " << total_iters
+            << " iterations, " << total_refactors << " refactorizations, " << total_stalls
+            << " stall windows, " << fmt_ns(total_ns) << " total):\n  warm-start adoption:";
+  for (const auto& [outcome, count] : by_warm) std::cout << " " << outcome << "=" << count;
+  std::cout << "\n";
+
+  TextTable table({"solve", "warm start", "status", "iters", "refac", "stalls",
+                   "longest stall", "objective", "primal inf", "dual inf", "dur"});
+  std::size_t rows = 0;
+  for (const trace::SolveReport& r : reports) {
+    if (rows++ >= max_rows) break;
+    table.add_row({std::to_string(r.span_id), r.warm_start.empty() ? "-" : r.warm_start,
+                   r.status.empty() ? "-" : r.status, std::to_string(r.iterations),
+                   std::to_string(r.refactors), std::to_string(r.stall_windows),
+                   std::to_string(r.longest_stall_iters) + " it",
+                   r.samples > 0 ? TextTable::num(r.last_objective, 6) : "-",
+                   r.samples > 0 ? TextTable::num(r.final_primal_infeas, 3) : "-",
+                   r.samples > 0 ? TextTable::num(r.final_dual_infeas, 3) : "-",
+                   fmt_ns(r.dur_ns)});
+  }
+  table.print(std::cout);
+  if (reports.size() > max_rows)
+    std::cout << "(" << reports.size() - max_rows << " more solves; raise --solves to list)\n";
+}
+
+int run_diff(const std::string& path_a, const std::string& path_b) {
+  trace::Trace a, b;
+  std::string error;
+  if (!trace::load_trace_file(path_a, &a, &error)) {
+    std::cerr << "error: " << path_a << ": " << error << "\n";
+    return 2;
+  }
+  if (!trace::load_trace_file(path_b, &b, &error)) {
+    std::cerr << "error: " << path_b << ": " << error << "\n";
+    return 2;
+  }
+  std::cout << "trace diff: A = " << path_a << " (" << a.spans.size() << " spans), B = "
+            << path_b << " (" << b.spans.size() << " spans)\n";
+  TextTable table({"span", "count A", "count B", "total A", "total B", "B/A"});
+  for (const trace::DiffRow& row : trace::diff(a, b)) {
+    const std::string ratio =
+        row.a && row.b && row.a->total_ns > 0
+            ? TextTable::num(static_cast<double>(row.b->total_ns) /
+                                 static_cast<double>(row.a->total_ns),
+                             2) +
+                  "x"
+            : "-";
+    table.add_row({row.name, row.a ? std::to_string(row.a->count) : "-",
+                   row.b ? std::to_string(row.b->count) : "-",
+                   row.a ? fmt_ns(row.a->total_ns) : "-", row.b ? fmt_ns(row.b->total_ns) : "-",
+                   ratio});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage: tcr-trace <trace.json> [--top N] [--stall-tol X] [--solves N]\n"
+               "       tcr-trace --diff <a.json> <b.json>\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Hand-rolled parsing: the tool takes positional file paths, which
+  // tcr::Cli (flag-only) would silently drop.
+  std::vector<std::string> files;
+  bool diff_mode = false;
+  long top = 10, solves = 20;
+  double stall_tol = 1e-9;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](long* out) {
+      if (i + 1 >= argc) return false;
+      *out = std::atol(argv[++i]);
+      return true;
+    };
+    if (arg == "--diff") {
+      diff_mode = true;
+    } else if (arg == "--top") {
+      if (!value(&top)) return usage();
+    } else if (arg == "--solves") {
+      if (!value(&solves)) return usage();
+    } else if (arg == "--stall-tol") {
+      if (i + 1 >= argc) return usage();
+      stall_tol = std::atof(argv[++i]);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "error: unknown flag '" << arg << "'\n";
+      return usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  if (diff_mode) {
+    if (files.size() != 2) return usage();
+    return run_diff(files[0], files[1]);
+  }
+  if (files.size() != 1) return usage();
+
+  trace::Trace trace;
+  std::string error;
+  if (!trace::load_trace_file(files[0], &trace, &error)) {
+    std::cerr << "error: " << files[0] << ": " << error << "\n";
+    return 2;
+  }
+  std::cout << files[0] << ": " << trace.spans.size() << " spans, " << trace.counters.size()
+            << " counter samples";
+  if (trace.dropped_events > 0)
+    std::cout << " (" << trace.dropped_events
+              << " events dropped by the ring buffer; re-run with a larger --trace-capacity)";
+  std::cout << "\n\n";
+  if (trace.spans.empty() && trace.counters.empty()) {
+    std::cerr << "trace holds no events\n";
+    return 1;
+  }
+
+  print_flame(trace);
+  print_slowest(trace, static_cast<std::size_t>(std::max(0L, top)));
+  print_sweep(trace);
+  print_convergence(trace, stall_tol, static_cast<std::size_t>(std::max(0L, solves)));
+  return 0;
+}
