@@ -8,7 +8,9 @@
 //
 // Flags: --kmin (default 3), --kmax (default 5; unfolded LPs grow fast),
 // --json <path> (one JSON record per configuration with the solver's
-// per-solve obs snapshot — iterations, refactorizations, phase timings).
+// per-solve obs snapshot — iterations, refactorizations, phase timings),
+// --perf (attach a hardware-counter/rusage perf block to every record; see
+// bench::JsonOutput).
 #include "bench_common.hpp"
 
 #include "tcr/core/arc_flow.hpp"

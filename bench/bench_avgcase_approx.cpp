@@ -3,7 +3,8 @@
 // throughput within ~5% at |X| = 100, N = 64, for the paper's algorithms.
 //
 // Flags: --k (default 8), --samples (default 100), --kind (sinkhorn |
-// birkhoff4 | perm), --json <path> (one JSON record per algorithm).
+// birkhoff4 | perm), --json <path> (one JSON record per algorithm), --perf
+// (hardware-counter/rusage perf block per record; see bench::JsonOutput).
 #include "bench_common.hpp"
 
 #include <cmath>

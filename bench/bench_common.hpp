@@ -12,6 +12,8 @@
 #include "tcr/lp/model.hpp"
 #include "tcr/obs/json.hpp"
 #include "tcr/obs/registry.hpp"
+#include "tcr/perf/perf.hpp"
+#include "tcr/perf/provenance.hpp"
 #include "tcr/report/schema.hpp"
 #include "tcr/trace/export.hpp"
 #include "tcr/trace/tracer.hpp"
@@ -70,7 +72,8 @@ inline void banner(const std::string& title, const std::string& paper_ref) {
 ///
 /// When the flag is present the helper opens a JSON-lines sink, writes the
 /// run header
-///   {"schema_version": V, "kind": "meta", "bench": <id>, "params": {...}}
+///   {"schema_version": V, "kind": "meta", "bench": <id>, "params": {...},
+///    "provenance": {git_sha, compiler, build_type, cxx_flags, cpu}}
 /// (where `params` are the run's resolved CLI parameters), enables the obs
 /// registry's fine-grained timing, and zeroes all metrics. Each point() call
 /// then appends one record
@@ -79,6 +82,11 @@ inline void banner(const std::string& title, const std::string& paper_ref) {
 /// and resets the registry again, so every snapshot covers exactly the work
 /// done since the previous record. Without the flag, every call is a no-op
 /// and timing stays off.
+///
+/// `--perf` additionally starts the perf::PhaseSampler machinery (hardware
+/// counters when perf_event_open works, rusage otherwise) and attaches a
+/// "perf" block to every point() record covering the same work window as its
+/// obs snapshot; tcr-perf ingests those blocks into BENCH_history.json.
 class JsonOutput {
  public:
   JsonOutput(const Cli& cli, std::string bench_name, obs::Json params)
@@ -94,10 +102,15 @@ class JsonOutput {
     meta.set("schema_version", report::kSchemaVersion)
         .set("kind", "meta")
         .set("bench", bench_)
-        .set("params", std::move(params));
+        .set("params", std::move(params))
+        .set("provenance", perf::provenance_json());
     sink_->write(meta);
     obs::Registry::instance().set_timing_enabled(true);
     obs::Registry::instance().reset();
+    if (cli.has("perf")) {
+      perf::start();
+      sampler_ = std::make_unique<perf::PhaseSampler>();
+    }
   }
 
   ~JsonOutput() {
@@ -118,6 +131,12 @@ class JsonOutput {
         .set("bench", bench_)
         .set("point", std::move(fields))
         .set("obs", obs::snapshot_json());
+    if (sampler_) {
+      // Same work window as the obs snapshot: sample the deltas since the
+      // previous point() and re-baseline.
+      rec.set("perf", sampler_->sample().to_json());
+      sampler_->reset();
+    }
     sink_->write(rec);
     obs::Registry::instance().reset();
   }
@@ -136,6 +155,7 @@ class JsonOutput {
  private:
   std::string bench_;
   std::unique_ptr<obs::EventSink> sink_;
+  std::unique_ptr<perf::PhaseSampler> sampler_;
 };
 
 /// Span tracing behind every bench's `--trace <path>` flag.

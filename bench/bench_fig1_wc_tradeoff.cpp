@@ -11,7 +11,9 @@
 // including the lp.warmstart.* counters — arrives in a trailing
 // sweep_summary record), --trace <path> (Perfetto span trace of the whole
 // run: per-point sweep spans with warm-start adoption attributes plus the
-// sampled simplex convergence telemetry; see bench::TraceOutput).
+// sampled simplex convergence telemetry; see bench::TraceOutput), --perf
+// (hardware-counter/rusage perf block per record, counter attrs on the
+// sweep.point spans; see bench::JsonOutput and tcr::perf).
 #include "bench_common.hpp"
 
 #include "tcr/core/tradeoff.hpp"

@@ -5,7 +5,9 @@
 //
 // Flags: --kmin (default 3), --kmax (default 8; the LPs grow as O(N^2) rows,
 // raise at your own pace), --skip-optimal, --skip-2turn, --json <path>
-// (one JSON record per radix with the obs snapshot of that radix's solves).
+// (one JSON record per radix with the obs snapshot of that radix's solves),
+// --perf (hardware-counter/rusage perf block per record; see
+// bench::JsonOutput).
 #include "bench_common.hpp"
 
 #include "tcr/core/design.hpp"

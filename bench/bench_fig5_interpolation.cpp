@@ -9,7 +9,8 @@
 // --skip-curve (skip the optimal-curve LPs used for the gap column),
 // --warm/--cold/--chains (warm-start chaining for the curve sweep),
 // --threads N (solve the curve's chains on a pool), --json <path> (one JSON
-// record per interpolation point).
+// record per interpolation point), --perf (hardware-counter/rusage perf
+// block per record; see bench::JsonOutput).
 #include "bench_common.hpp"
 
 #include <cmath>

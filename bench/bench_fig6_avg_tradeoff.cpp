@@ -10,7 +10,8 @@
 // (solve the sweep's chains on a pool), --json <path>
 // (one JSON record per curve point / designed routing / algorithm point;
 // the curve's obs snapshot arrives in a trailing sweep_summary record),
-// --trace <path> (Perfetto span trace; see bench::TraceOutput).
+// --trace <path> (Perfetto span trace; see bench::TraceOutput), --perf
+// (hardware-counter/rusage perf block per record; see bench::JsonOutput).
 #include "bench_common.hpp"
 
 #include "tcr/core/design.hpp"

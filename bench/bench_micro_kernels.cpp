@@ -17,6 +17,7 @@
 #include "tcr/metrics/loads.hpp"
 #include "tcr/metrics/worst_case.hpp"
 #include "tcr/obs/registry.hpp"
+#include "tcr/perf/perf.hpp"
 #include "tcr/routing/dor.hpp"
 #include "tcr/routing/valiant.hpp"
 #include "tcr/sim/simulator.hpp"
@@ -176,6 +177,33 @@ void BM_TraceSpanEnabled(benchmark::State& state) {
   trace::Tracer::instance().clear();
 }
 BENCHMARK(BM_TraceSpanEnabled);
+
+// Disabled-perf SpanSample cost: what the sweep.point call site pays when no
+// --perf flag is given — one relaxed load and a predicted-not-taken branch,
+// same budget as BM_TraceSpanDisabled. CI's overhead guard pins the ratio to
+// BM_ObsScopedTimerDisabled.
+void BM_PerfSpanSampleDisabled(benchmark::State& state) {
+  perf::stop();
+  for (auto _ : state) {
+    trace::Span span("bench.perf.span");
+    perf::SpanSample ps(span);
+    benchmark::DoNotOptimize(&ps);
+  }
+}
+BENCHMARK(BM_PerfSpanSampleDisabled);
+
+// Enabled sampler read cost: one getrusage + /proc read per sample() —
+// bench-phase granularity, deliberately not cheap enough for hot loops.
+void BM_PerfPhaseSamplerEnabled(benchmark::State& state) {
+  perf::PerfConfig cfg;
+  perf::start(cfg);
+  perf::PhaseSampler sampler;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample().cpu_ns);
+  }
+  perf::stop();
+}
+BENCHMARK(BM_PerfPhaseSamplerEnabled);
 
 // End-to-end solver cost with tracing collecting (spans + sampled
 // convergence counters). Compare against BM_CapacityLP (tracing off) and

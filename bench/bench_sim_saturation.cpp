@@ -9,7 +9,8 @@
 // (comma-free: runs uniform + complement + tornado), --json <path>
 // (one JSON record per algorithm x pattern, with the sim obs snapshot),
 // --trace <path> (Perfetto span trace; sim.epoch spans every
-// --trace-cycles cycles, default 500; see bench::TraceOutput).
+// --trace-cycles cycles, default 500; see bench::TraceOutput), --perf
+// (hardware-counter/rusage perf block per record; see bench::JsonOutput).
 #include "bench_common.hpp"
 
 #include "tcr/metrics/loads.hpp"

@@ -8,7 +8,8 @@
 // (default 100), --design-samples <n> permutations inside the 2TURNA LP
 // (default 32), --skip-design (skip the LP-designed algorithms),
 // --json <path> (one JSON-lines record per design solve and per algorithm
-// row, each carrying the obs snapshot of the work it covers).
+// row, each carrying the obs snapshot of the work it covers), --perf
+// (hardware-counter/rusage perf block per record; see bench::JsonOutput).
 #include "bench_common.hpp"
 
 #include "tcr/core/path_design.hpp"

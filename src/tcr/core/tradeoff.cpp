@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "tcr/perf/perf.hpp"
 #include "tcr/trace/tracer.hpp"
 #include "tcr/util/check.hpp"
 
@@ -52,6 +53,9 @@ std::vector<TradeoffPoint> sweep(const Torus& torus, DesignObjective objective,
     lp::Basis warm;
     for (int i = begin; i < end; ++i) {
       trace::Span point_span("sweep.point");
+      // Counter attrs (perf.cpu_ns, perf.cycles, ...) attach on scope exit;
+      // inert — one relaxed load — unless perf::start() ran.
+      perf::SpanSample point_perf(point_span);
       if (i > begin) design.set_locality_bound(localities[i] * hmin);
       DesignResult res = design.solve(
           opts, sweep_cfg.warm_start && !warm.empty() ? &warm : nullptr);

@@ -1,0 +1,107 @@
+// Link-optional allocation accounting: replaces the global operator
+// new/delete family with malloc/free wrappers that bump the inline atomic
+// counters in perf.hpp (two relaxed adds per allocation). Built as its own
+// static library (`tcr_alloc_hook`) so binaries opt in at link time — the
+// bench CLIs and tools link it, the unit tests (except test_perf) do not,
+// which keeps test_trace's own zero-allocation operator-new override
+// conflict-free.
+//
+// Every allocation is funneled through malloc/aligned_alloc + free, so the
+// sanitizer jobs keep their malloc-level interception (ASan poisoning, leak
+// detection) — only new/delete mismatch pairs collapse into malloc/free,
+// which is the documented tradeoff of any counting replacement.
+#include <cstdlib>
+#include <new>
+
+#include "tcr/perf/perf.hpp"
+
+namespace {
+
+// Pulled into the link iff some object references operator new (i.e. always
+// in practice); flags the accounting as live for perf::alloc_hook_active().
+const bool g_installed = [] {
+  tcr::perf::detail::g_alloc_hook_active.store(true, std::memory_order_relaxed);
+  return true;
+}();
+
+void* counted_alloc(std::size_t size) noexcept {
+  tcr::perf::detail::note_alloc(size);
+  // malloc(0) may return nullptr; operator new must return a unique pointer.
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) noexcept {
+  tcr::perf::detail::note_alloc(size);
+  if (align < sizeof(void*)) align = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size != 0 ? size : align) != 0) return nullptr;
+  return p;
+}
+
+void counted_free(void* p) noexcept {
+  if (p == nullptr) return;
+  tcr::perf::detail::note_free();
+  std::free(p);
+}
+
+[[noreturn]] void throw_bad_alloc() { throw std::bad_alloc(); }
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  (void)g_installed;
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw_bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw_bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw_bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw_bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align, const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align, const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { counted_free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { counted_free(p); }
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}

@@ -1,0 +1,69 @@
+#include "tcr/perf/provenance.hpp"
+
+#include <fstream>
+
+// Injected per-file by src/CMakeLists.txt so editing them never rebuilds the
+// whole library.
+#ifndef TCR_GIT_SHA
+#define TCR_GIT_SHA "unknown"
+#endif
+#ifndef TCR_BUILD_TYPE
+#define TCR_BUILD_TYPE "unknown"
+#endif
+#ifndef TCR_CXX_FLAGS
+#define TCR_CXX_FLAGS ""
+#endif
+
+namespace tcr::perf {
+
+namespace {
+
+std::string detect_compiler() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+std::string detect_cpu_model() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const std::size_t colon = line.find(':');
+      if (colon == std::string::npos) break;
+      std::size_t begin = colon + 1;
+      while (begin < line.size() && line[begin] == ' ') ++begin;
+      return line.substr(begin);
+    }
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+const std::string& cpu_model() {
+  static const std::string model = detect_cpu_model();
+  return model;
+}
+
+const std::string& build_git_sha() {
+  static const std::string sha = TCR_GIT_SHA;
+  return sha;
+}
+
+obs::Json provenance_json() {
+  static const std::string compiler = detect_compiler();
+  auto j = obs::Json::object();
+  j.set("git_sha", build_git_sha())
+      .set("compiler", compiler)
+      .set("build_type", TCR_BUILD_TYPE)
+      .set("cxx_flags", TCR_CXX_FLAGS)
+      .set("cpu", cpu_model());
+  return j;
+}
+
+}  // namespace tcr::perf

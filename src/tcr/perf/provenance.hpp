@@ -1,0 +1,30 @@
+// Build/run provenance for perf records: which code, compiler, and machine
+// produced a measurement. Written into every bench's --json meta header and
+// copied into BENCH_history entries so the regression gate can refuse to
+// compare cycle counts across different CPUs or compilers.
+#pragma once
+
+#include <string>
+
+#include "tcr/obs/json.hpp"
+
+namespace tcr::perf {
+
+/// Provenance of this binary and host:
+///   {"git_sha":    configure-time `git rev-parse` (stale between a commit
+///                  and the next reconfigure; tcr-perf append --commit is
+///                  the authoritative history key),
+///    "compiler":   e.g. "gcc 12.2.0",
+///    "build_type": CMAKE_BUILD_TYPE,
+///    "cxx_flags":  CMAKE_CXX_FLAGS as configured,
+///    "cpu":        /proc/cpuinfo model name ("unknown" off-Linux)}
+obs::Json provenance_json();
+
+/// The "cpu" field alone (cached after the first /proc/cpuinfo read).
+const std::string& cpu_model();
+
+/// The configure-time git SHA ("unknown" when the source tree was not a git
+/// checkout at configure time).
+const std::string& build_git_sha();
+
+}  // namespace tcr::perf

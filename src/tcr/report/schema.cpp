@@ -51,6 +51,8 @@ bool parse_run_file(const std::string& path, BenchRun* out, std::string* error) 
   out->bench = bench->as_string();
   const obs::Json* params = head.find("params");
   out->params = params != nullptr ? *params : obs::Json::object();
+  const obs::Json* provenance = head.find("provenance");
+  out->provenance = provenance != nullptr ? *provenance : obs::Json();
 
   out->records.clear();
   for (std::size_t i = 1; i < lines.size(); ++i) {
@@ -81,6 +83,8 @@ bool parse_run_file(const std::string& path, BenchRun* out, std::string* error) 
     parsed.point = *point;
     const obs::Json* snapshot = rec.find("obs");
     if (snapshot != nullptr) parsed.obs = *snapshot;
+    const obs::Json* perf = rec.find("perf");
+    if (perf != nullptr) parsed.perf = *perf;
     out->records.push_back(std::move(parsed));
   }
   return true;

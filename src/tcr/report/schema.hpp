@@ -1,16 +1,23 @@
 // The versioned uniform schema every bench's `--json` output follows, and
 // its parser. A run file is JSON-lines:
 //
-//   {"schema_version":1,"kind":"meta","bench":"<id>","params":{...}}
-//   {"kind":"point","bench":"<id>","point":{...},"obs":{...}}   (obs optional)
+//   {"schema_version":1,"kind":"meta","bench":"<id>","params":{...},
+//    "provenance":{...}}
+//   {"kind":"point","bench":"<id>","point":{...},"obs":{...},"perf":{...}}
 //   ...
 //
 // The first line is the run header (`kind: "meta"`): schema version, bench
-// id, and the resolved CLI parameters of the run. Every following line is
-// one series point; `point` holds the paper-series values (capacity
-// fractions, normalized localities, certificates), `obs` the instrumentation
-// snapshot covering that point's work. tcr-repro consumes these records to
-// gate golden values and to count certificate failures.
+// id, the resolved CLI parameters of the run, and the build/host provenance
+// (git SHA, compiler, build type, CPU model — perf::provenance_json).
+// Every following line is one series point; `point` holds the paper-series
+// values (capacity fractions, normalized localities, certificates), `obs`
+// the instrumentation snapshot covering that point's work, and `perf` (only
+// under --perf) the hardware-counter/rusage sample of the same work
+// (perf::Sample::to_json). tcr-repro consumes these records to gate golden
+// values and count certificate failures; tcr-perf consumes the perf blocks
+// and provenance to build the BENCH_history regression store. `provenance`
+// and `perf` are additive within schema v1 — absent in older records, both
+// parse as null.
 #pragma once
 
 #include <string>
@@ -29,13 +36,15 @@ inline constexpr int kSchemaVersion = 1;
 struct BenchRecord {
   obs::Json point;  ///< series values (object)
   obs::Json obs;    ///< instrumentation snapshot; null when absent
+  obs::Json perf;   ///< perf::Sample block (--perf runs); null when absent
 };
 
 /// A parsed `--json` run: header plus all of its points.
 struct BenchRun {
   int schema_version = 0;
-  std::string bench;  ///< bench id, e.g. "fig1_wc_tradeoff"
-  obs::Json params;   ///< resolved CLI parameters of the run (object)
+  std::string bench;     ///< bench id, e.g. "fig1_wc_tradeoff"
+  obs::Json params;      ///< resolved CLI parameters of the run (object)
+  obs::Json provenance;  ///< build/host provenance; null in older records
   std::vector<BenchRecord> records;
 };
 

@@ -246,4 +246,30 @@ std::vector<DiffRow> diff(const Trace& a, const Trace& b) {
   return rows;
 }
 
+obs::Json flame_json(const Trace& trace) {
+  const std::map<std::string, NameAgg> agg = aggregate(trace);
+  std::vector<std::pair<std::string, NameAgg>> rows(agg.begin(), agg.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.self_ns != b.second.self_ns ? a.second.self_ns > b.second.self_ns
+                                                : a.first < b.first;
+  });
+  auto flame = obs::Json::array();
+  for (const auto& [name, a] : rows) {
+    auto row = obs::Json::object();
+    row.set("span", name)
+        .set("count", static_cast<std::int64_t>(a.count))
+        .set("total_ns", a.total_ns)
+        .set("self_ns", a.self_ns)
+        .set("max_ns", a.max_ns)
+        .set("avg_ns", a.count > 0 ? a.total_ns / a.count : 0);
+    flame.push_back(std::move(row));
+  }
+  auto out = obs::Json::object();
+  out.set("spans", static_cast<std::int64_t>(trace.spans.size()))
+      .set("counters", static_cast<std::int64_t>(trace.counters.size()))
+      .set("dropped", trace.dropped_events)
+      .set("flame", std::move(flame));
+  return out;
+}
+
 }  // namespace tcr::trace

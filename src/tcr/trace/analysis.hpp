@@ -117,4 +117,11 @@ struct DiffRow {
 /// the larger total time, descending.
 std::vector<DiffRow> diff(const Trace& a, const Trace& b);
 
+/// Machine-readable flame/self-time summary (tcr-trace --json): an object
+///   {"spans": N, "counters": N, "dropped": N,
+///    "flame": [{"span","count","total_ns","self_ns","max_ns","avg_ns"},...]}
+/// with flame rows sorted by self time descending (name ascending on ties),
+/// matching the order of the human-readable table.
+obs::Json flame_json(const Trace& trace);
+
 }  // namespace tcr::trace

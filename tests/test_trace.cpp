@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <new>
 #include <sstream>
 #include <string>
@@ -389,6 +390,38 @@ TEST_F(AnalysisTest, AggregateComputesSelfTimeAcrossParents) {
             agg.at("outer").total_ns - agg.at("inner").total_ns);
   EXPECT_GE(agg.at("outer").self_ns, 0);
   EXPECT_GE(agg.at("inner").max_ns, agg.at("inner").total_ns / 2);
+}
+
+TEST_F(AnalysisTest, FlameJsonMirrorsAggregateInSelfTimeOrder) {
+  Tracer::instance().start();
+  {
+    Span outer("outer");
+    { Span inner("inner"); }
+    { Span inner("inner"); }
+  }
+  Tracer::instance().stop();
+  const Trace trace = exported(/*dropped=*/1);
+  const obs::Json doc = flame_json(trace);
+  EXPECT_EQ(doc.find("spans")->as_int(), 3);
+  EXPECT_EQ(doc.find("counters")->as_int(), 0);
+  EXPECT_EQ(doc.find("dropped")->as_int(), 1);
+  const obs::Json* flame = doc.find("flame");
+  ASSERT_NE(flame, nullptr);
+  ASSERT_EQ(flame->elements().size(), 2u);
+  const auto agg = aggregate(trace);
+  std::int64_t prev_self = std::numeric_limits<std::int64_t>::max();
+  for (const obs::Json& row : flame->elements()) {
+    const std::string name = row.find("span")->as_string();
+    ASSERT_TRUE(agg.count(name));
+    const NameAgg& a = agg.at(name);
+    EXPECT_EQ(row.find("count")->as_int(), a.count);
+    EXPECT_EQ(row.find("total_ns")->as_int(), a.total_ns);
+    EXPECT_EQ(row.find("self_ns")->as_int(), a.self_ns);
+    EXPECT_EQ(row.find("max_ns")->as_int(), a.max_ns);
+    EXPECT_EQ(row.find("avg_ns")->as_int(), a.count > 0 ? a.total_ns / a.count : 0);
+    EXPECT_LE(row.find("self_ns")->as_int(), prev_self);  // sorted descending
+    prev_self = row.find("self_ns")->as_int();
+  }
 }
 
 TEST_F(AnalysisTest, SlowestSpansSortsByDuration) {

@@ -35,6 +35,10 @@
 //                       with --trace <out>/<bench>.trace.json (Perfetto
 //                       loadable, analyzable with tcr-trace); does not affect
 //                       the records or the gate
+//   --perf              forward --perf to every bench, so each record carries
+//                       a hardware-counter/rusage perf block; the resulting
+//                       .jsonl files are ingestible with `tcr-perf append`;
+//                       does not affect the series values or the gate
 //   --list              print the presets and their bench command lines
 //
 // Exit codes:
@@ -133,7 +137,7 @@ std::string shell_quote(const std::string& s) {
 /// <out>/<bench>.jsonl. Returns the bench's exit code (-1: could not run).
 int run_bench(const fs::path& bench_dir, const BenchSpec& spec,
               const std::vector<std::string>& overrides, const fs::path& out_dir,
-              bool with_trace) {
+              bool with_trace, bool with_perf) {
   const fs::path binary = bench_dir / ("bench_" + spec.bench);
   std::string cmd = shell_quote(binary.string());
   // Appends are two-step (no `+= a + b` temporaries): GCC 12's -Wrestrict
@@ -152,6 +156,7 @@ int run_bench(const fs::path& bench_dir, const BenchSpec& spec,
     cmd += " --trace ";
     cmd += shell_quote((out_dir / (spec.bench + ".trace.json")).string());
   }
+  if (with_perf) cmd += " --perf";
   cmd += " > " + shell_quote((out_dir / (spec.bench + ".txt")).string()) + " 2>&1";
   const int status = std::system(cmd.c_str());
   if (status == -1) return -1;
@@ -312,7 +317,8 @@ int main(int argc, char** argv) {
         overrides.push_back(cli.get_string("threads", ""));
       }
       std::cout << "running bench_" << spec.bench << " ..." << std::flush;
-      outcome.exit_code = run_bench(bench_dir, spec, overrides, out_dir, cli.has("trace"));
+      outcome.exit_code =
+          run_bench(bench_dir, spec, overrides, out_dir, cli.has("trace"), cli.has("perf"));
       std::cout << (outcome.exit_code == 0 ? " ok" : " FAILED") << "\n";
       if (outcome.exit_code != 0) {
         std::cerr << "error: bench_" << spec.bench << " exited with code " << outcome.exit_code

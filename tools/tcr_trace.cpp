@@ -6,6 +6,7 @@
 //                                             # + sweep table + convergence
 //   tcr-trace run.trace.json --top 20         # more slowest-span rows
 //   tcr-trace run.trace.json --stall-tol 1e-6 # looser stall detection
+//   tcr-trace run.trace.json --json flame.json # machine-readable summary
 //   tcr-trace --diff warm.json cold.json      # warm-vs-cold span comparison
 //
 // Flags:
@@ -14,12 +15,16 @@
 //                   sampled simplex interval counts as stalled (default 1e-9)
 //   --solves N      max per-solve convergence rows to print (default 20; the
 //                   summary line always covers every solve)
+//   --json PATH     also write the flame/self-time summary as JSON
+//                   (trace::flame_json; "-" writes to stdout and suppresses
+//                   the human-readable output) for scripted consumers
 //   --diff A B      compare two traces span-name by span-name instead
 //
 // Exit codes: 0 ok, 1 analysis found nothing to report on (no events), 2
 // usage or unreadable/malformed trace file.
 #include <algorithm>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -167,6 +172,7 @@ int run_diff(const std::string& path_a, const std::string& path_b) {
 
 int usage() {
   std::cerr << "usage: tcr-trace <trace.json> [--top N] [--stall-tol X] [--solves N]\n"
+               "                 [--json PATH]\n"
                "       tcr-trace --diff <a.json> <b.json>\n";
   return 2;
 }
@@ -180,6 +186,7 @@ int main(int argc, char** argv) {
   bool diff_mode = false;
   long top = 10, solves = 20;
   double stall_tol = 1e-9;
+  std::string json_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&](long* out) {
@@ -196,6 +203,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--stall-tol") {
       if (i + 1 >= argc) return usage();
       stall_tol = std::atof(argv[++i]);
+    } else if (arg == "--json") {
+      if (i + 1 >= argc) return usage();
+      json_out = argv[++i];
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "error: unknown flag '" << arg << "'\n";
       return usage();
@@ -216,6 +226,23 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << files[0] << ": " << error << "\n";
     return 2;
   }
+
+  if (!json_out.empty()) {
+    const obs::Json summary = trace::flame_json(trace);
+    if (json_out == "-") {
+      summary.dump(std::cout);
+      std::cout << "\n";
+      return trace.spans.empty() && trace.counters.empty() ? 1 : 0;
+    }
+    std::ofstream out(json_out, std::ios::trunc);
+    summary.dump(out);
+    out << "\n";
+    if (!out.good()) {
+      std::cerr << "error: cannot write '" << json_out << "'\n";
+      return 2;
+    }
+  }
+
   std::cout << files[0] << ": " << trace.spans.size() << " spans, " << trace.counters.size()
             << " counter samples";
   if (trace.dropped_events > 0)
