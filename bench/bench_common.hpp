@@ -1,7 +1,9 @@
 // Shared helpers for the figure/table reproduction binaries.
 #pragma once
 
+#include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -9,7 +11,12 @@
 #include <vector>
 
 #include "tcr/core/tradeoff.hpp"
+#include "tcr/fault/fault.hpp"
+#include "tcr/guard/guard.hpp"
+#include "tcr/guard/journal.hpp"
 #include "tcr/lp/model.hpp"
+#include "tcr/lp/simplex.hpp"
+#include "tcr/sim/simulator.hpp"
 #include "tcr/obs/json.hpp"
 #include "tcr/obs/registry.hpp"
 #include "tcr/perf/perf.hpp"
@@ -59,6 +66,154 @@ inline std::unique_ptr<ThreadPool> sweep_pool(const Cli& cli) {
   const int threads = cli.get_int("threads", 1);
   return threads > 1 ? std::make_unique<ThreadPool>(static_cast<std::size_t>(threads)) : nullptr;
 }
+
+/// JSON view of an lp::Certificate for a point record; every LP-backed bench
+/// attaches this so downstream tooling can assert that the published numbers
+/// came from independently certified solves.
+inline obs::Json certificate_json(const lp::Certificate& cert) {
+  auto j = obs::Json::object();
+  j.set("checked", cert.checked).set("pass", cert.pass);
+  if (cert.checked) {
+    j.set("primal_residual", cert.primal_residual)
+        .set("bound_violation", cert.bound_violation)
+        .set("dual_violation", cert.dual_violation)
+        .set("complementarity", cert.complementarity)
+        .set("duality_gap", cert.duality_gap)
+        .set("worst", cert.worst());
+    if (!cert.pass) j.set("reason", cert.reason);
+  }
+  return j;
+}
+
+/// Exit status a bench returns when run control cut the run short: every
+/// emitted record is valid but the run is partial — tcr-repro reports it as
+/// "partial (run control)" and skips golden gating instead of failing the
+/// schema.
+inline constexpr int kExitPartial = 7;
+
+/// Run-control flags shared by every bench (tcr::guard):
+///
+///   --deadline S        wall-clock deadline in seconds
+///   --budget N          cumulative simplex-iteration budget
+///   --rss-limit-mb M    peak-RSS cap
+///   --checkpoint PATH   journal every completed sweep point to PATH
+///   --resume PATH       replay completed points from PATH, journal new ones
+///                       to it, and re-chain warm starts
+///
+/// The constructor arms one CancelToken with the budget, points SIGINT/
+/// SIGTERM at it (so kills unwind cooperatively: the journal stays valid
+/// and the --json report is flushed complete-but-partial), opens/validates
+/// the checkpoint journal, and honors the TCR_FAULT_STALL_* injection env
+/// (fault::install_env_simplex_faults) so e2e tests can slow solves down
+/// from outside. apply() threads the token into sweeps, solver options and
+/// simulator configs; exit_code() turns a fired token into kExitPartial.
+class RunControl {
+ public:
+  explicit RunControl(const Cli& cli) {
+    fault::install_env_simplex_faults();
+    guard::RunBudget budget;
+    budget.deadline_seconds = cli.get_double("deadline", 0.0);
+    budget.max_iterations = cli.get_int("budget", 0);
+    budget.max_rss_kb = static_cast<std::int64_t>(cli.get_int("rss-limit-mb", 0)) * 1024;
+    token_.arm(budget);
+    signals_ = std::make_unique<guard::SignalGuard>(token_);
+
+    const std::string resume_path = cli.get_string("resume", "");
+    journal_path_ = resume_path.empty() ? cli.get_string("checkpoint", "") : resume_path;
+    if (!resume_path.empty()) {
+      resume_ = std::make_unique<SweepResume>();
+      bool torn = false;
+      std::string error;
+      if (!load_sweep_resume(resume_path, resume_.get(), &torn, &error)) {
+        std::cerr << "error: --resume: " << error << "\n";
+        std::exit(1);
+      }
+      std::cout << "resume: " << resume_->points.size() << " completed point(s) from "
+                << resume_path << (torn ? " (dropped a torn final record)" : "") << "\n";
+    }
+    if (!journal_path_.empty()) {
+      std::string error;
+      if (!journal_.open(journal_path_, &error)) {
+        std::cerr << "error: --checkpoint/--resume: " << error << "\n";
+        std::exit(1);
+      }
+    }
+  }
+
+  guard::CancelToken& token() { return token_; }
+  bool cancelled() const { return token_.cancelled(); }
+
+  /// Wire the token (and any journal/resume state) into a tradeoff sweep
+  /// and the solver options it will use.
+  void apply(SweepConfig& sweep, lp::SimplexOptions& opts) {
+    sweep.cancel = &token_;
+    opts.cancel = &token_;
+    if (journal_.is_open()) sweep.journal = &journal_;
+    if (resume_ != nullptr) sweep.resume = resume_.get();
+  }
+
+  /// Wire the token into a simulator run.
+  void apply(SimConfig& sim) { sim.cancel = &token_; }
+
+  /// 0 for a complete run, kExitPartial when the token fired.
+  int exit_code() const { return cancelled() ? kExitPartial : 0; }
+
+  /// Print the stop diagnosis (if any) and return exit_code().
+  int finish() const {
+    if (cancelled()) {
+      std::cout << "run control: stopped early — " << token_.note() << "\n";
+    }
+    return exit_code();
+  }
+
+  /// Canonical sweep result file `<journal>.report.json`: a pure function
+  /// of the point series — no obs counters, no provenance stamps, no
+  /// timing — so a killed-then-resumed sweep must match an uninterrupted
+  /// one *bitwise* (the resume e2e gate compares with cmp). Written only
+  /// when the journal is in use and every point reached a terminal result
+  /// (a cancelled run has nothing canonical to claim). "resumed" points
+  /// are recorded as "measured": replaying a journal is not a result
+  /// change.
+  void write_sweep_report(const std::string& bench,
+                          const std::vector<TradeoffPoint>& points) const {
+    if (journal_path_.empty() || cancelled()) return;
+    auto doc = obs::Json::object();
+    doc.set("kind", "sweep_report").set("bench", bench);
+    auto arr = obs::Json::array();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const TradeoffPoint& pt = points[i];
+      auto p = obs::Json::object();
+      p.set("index", static_cast<std::int64_t>(i))
+          .set("locality", pt.locality)
+          .set("capacity_fraction", pt.capacity_fraction)
+          .set("status", lp::to_string(pt.status))
+          .set("note", pt.note)
+          .set("warm_start", pt.warm_start)
+          .set("iterations", static_cast<std::int64_t>(pt.iterations))
+          .set("provenance",
+               pt.provenance == "resumed" ? std::string("measured") : pt.provenance)
+          .set("certificate", certificate_json(pt.certificate));
+      arr.push_back(std::move(p));
+    }
+    doc.set("points", std::move(arr));
+    const std::string path = journal_path_ + ".report.json";
+    std::ofstream out(path, std::ios::trunc);
+    doc.dump(out);
+    out << "\n";
+    if (!out) {
+      std::cerr << "error: cannot write sweep report '" << path << "'\n";
+      std::exit(1);
+    }
+    std::cout << "sweep report written to " << path << "\n";
+  }
+
+ private:
+  guard::CancelToken token_;
+  std::unique_ptr<guard::SignalGuard> signals_;
+  std::unique_ptr<SweepResume> resume_;
+  guard::JournalWriter journal_;
+  std::string journal_path_;
+};
 
 inline void banner(const std::string& title, const std::string& paper_ref) {
   std::cout << "==========================================================\n"
@@ -206,24 +361,6 @@ inline std::string status_line(lp::Status status, const std::string& note) {
   std::string s = lp::to_string(status);
   if (status != lp::Status::Optimal && !note.empty()) s += " (" + note + ")";
   return s;
-}
-
-/// JSON view of an lp::Certificate for a point record; every LP-backed bench
-/// attaches this so downstream tooling can assert that the published numbers
-/// came from independently certified solves.
-inline obs::Json certificate_json(const lp::Certificate& cert) {
-  auto j = obs::Json::object();
-  j.set("checked", cert.checked).set("pass", cert.pass);
-  if (cert.checked) {
-    j.set("primal_residual", cert.primal_residual)
-        .set("bound_violation", cert.bound_violation)
-        .set("dual_violation", cert.dual_violation)
-        .set("complementarity", cert.complementarity)
-        .set("duality_gap", cert.duality_gap)
-        .set("worst", cert.worst());
-    if (!cert.pass) j.set("reason", cert.reason);
-  }
-  return j;
 }
 
 }  // namespace tcr::bench

@@ -13,7 +13,11 @@
 // run: per-point sweep spans with warm-start adoption attributes plus the
 // sampled simplex convergence telemetry; see bench::TraceOutput), --perf
 // (hardware-counter/rusage perf block per record, counter attrs on the
-// sweep.point spans; see bench::JsonOutput and tcr::perf).
+// sweep.point spans; see bench::JsonOutput and tcr::perf), plus the
+// run-control flags --deadline/--budget/--rss-limit-mb/--checkpoint/--resume
+// (see bench::RunControl: budget-degraded points are interpolated per §5.3
+// and flagged, a SIGTERM mid-sweep leaves a resumable journal, and --resume
+// reproduces the uninterrupted run bitwise in <journal>.report.json).
 #include "bench_common.hpp"
 
 #include "tcr/core/tradeoff.hpp"
@@ -25,8 +29,11 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const int k = cli.get_int("k", 8);
   const int points = cli.get_int("points", 9);
-  const SweepConfig sweep = bench::sweep_config(cli);
+  SweepConfig sweep = bench::sweep_config(cli);
   const int threads = cli.get_int("threads", 1);
+  bench::RunControl rc(cli);
+  lp::SimplexOptions opts;
+  rc.apply(sweep, opts);
   bench::JsonOutput jout(cli, "fig1_wc_tradeoff",
                          obs::Json::object()
                              .set("k", k)
@@ -45,11 +52,12 @@ int main(int argc, char** argv) {
   // point warm-starts from the previous basis (unless --cold).
   Stopwatch sw;
   const auto pool = bench::sweep_pool(cli);
-  const std::vector<TradeoffPoint> curve =
-      worst_case_tradeoff(torus, locality_grid(1.0, 2.0, points), {}, pool.get(), sweep);
+  const std::vector<TradeoffPoint> curve = worst_case_tradeoff(
+      torus, locality_grid(1.0, 2.0, points), opts, pool.get(), sweep);
   std::cout << "curve solved in " << sw.seconds() << " s (" << points
             << " locality-constrained LPs, " << (sweep.warm_start ? "warm" : "cold")
             << " starts)\n\n";
+  rc.write_sweep_report("fig1_wc_tradeoff", curve);
 
   for (const TradeoffPoint& pt : curve) {
     auto fields = obs::Json::object();
@@ -60,6 +68,11 @@ int main(int argc, char** argv) {
         .set("status", lp::to_string(pt.status))
         .set("warm_start", pt.warm_start)
         .set("certificate", bench::certificate_json(pt.certificate));
+    // Flag anything that is not a plain measurement (degraded values are
+    // §5.3 interpolations, not solves — gates must see the difference).
+    if (pt.provenance != "measured") {
+      fields.set("provenance", pt.provenance).set("note", pt.note);
+    }
     jout.record(std::move(fields));
   }
   {
@@ -74,8 +87,13 @@ int main(int argc, char** argv) {
 
   TextTable curve_table({"H_avg/minimal (L)", "optimal Theta_wc/cap", "status"});
   for (const auto& pt : curve) {
-    curve_table.add_row({TextTable::num(pt.locality, 3),
-                         pt.solved() ? TextTable::num(pt.capacity_fraction, 4) : "unsolved",
+    std::string value = pt.solved() ? TextTable::num(pt.capacity_fraction, 4) : "unsolved";
+    if (pt.degraded()) {
+      value = std::isfinite(pt.capacity_fraction)
+                  ? TextTable::num(pt.capacity_fraction, 4) + " (interp)"
+                  : "degraded";
+    }
+    curve_table.add_row({TextTable::num(pt.locality, 3), value,
                          bench::status_line(pt.status, pt.note)});
   }
   curve_table.print(std::cout);
@@ -98,5 +116,5 @@ int main(int argc, char** argv) {
   std::cout << "\npaper shape: DOR pins the minimal end of the Pareto curve; VAL reaches\n"
                "the 0.5 worst-case optimum at locality 2; VAL/RLB/RLBth sit well above\n"
                "the optimal curve.\n";
-  return 0;
+  return rc.finish();
 }

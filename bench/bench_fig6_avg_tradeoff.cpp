@@ -11,7 +11,9 @@
 // (one JSON record per curve point / designed routing / algorithm point;
 // the curve's obs snapshot arrives in a trailing sweep_summary record),
 // --trace <path> (Perfetto span trace; see bench::TraceOutput), --perf
-// (hardware-counter/rusage perf block per record; see bench::JsonOutput).
+// (hardware-counter/rusage perf block per record; see bench::JsonOutput),
+// plus the run-control flags --deadline/--budget/--rss-limit-mb/
+// --checkpoint/--resume (see bench::RunControl).
 #include "bench_common.hpp"
 
 #include "tcr/core/design.hpp"
@@ -29,7 +31,10 @@ int main(int argc, char** argv) {
   const int points = cli.get_int("points", 5);
   const int eval_count = cli.get_int("samples", 100);
   const int design_count = cli.get_int("design-samples", 12);
-  const SweepConfig sweep = bench::sweep_config(cli);
+  SweepConfig sweep = bench::sweep_config(cli);
+  bench::RunControl rc(cli);
+  lp::SimplexOptions opts;
+  rc.apply(sweep, opts);
   bench::JsonOutput jout(cli, "fig6_avg_tradeoff",
                          obs::Json::object()
                              .set("k", k)
@@ -56,9 +61,10 @@ int main(int argc, char** argv) {
     Stopwatch sw;
     const auto pool = bench::sweep_pool(cli);
     const std::vector<TradeoffPoint> curve = average_case_tradeoff(
-        torus, design_samples, locality_grid(1.0, 2.0, points), {}, pool.get(), sweep);
+        torus, design_samples, locality_grid(1.0, 2.0, points), opts, pool.get(), sweep);
     std::cout << "curve solved in " << sw.seconds() << " s ("
               << (sweep.warm_start ? "warm" : "cold") << " starts)\n\n";
+    rc.write_sweep_report("fig6_avg_tradeoff", curve);
     for (const TradeoffPoint& pt : curve) {
       auto fields = obs::Json::object();
       fields.set("series", "optimal_curve")
@@ -68,6 +74,9 @@ int main(int argc, char** argv) {
           .set("status", lp::to_string(pt.status))
           .set("warm_start", pt.warm_start)
           .set("certificate", bench::certificate_json(pt.certificate));
+      if (pt.provenance != "measured") {
+        fields.set("provenance", pt.provenance).set("note", pt.note);
+      }
       jout.record(std::move(fields));
     }
     auto summary = obs::Json::object();
@@ -134,5 +143,5 @@ int main(int argc, char** argv) {
   std::cout << "\npaper shape (k=8): max average-case ~0.628 of capacity; VAL at 0.50;\n"
                "IVAL within ~8.4% and 2TURN within ~6.4% of the maximum; 2TURNA within\n"
                "~4.6%; the minimal-path average-optimal matches ROMM (§5.4).\n";
-  return 0;
+  return rc.finish();
 }

@@ -10,7 +10,12 @@
 // (one JSON record per algorithm x pattern, with the sim obs snapshot),
 // --trace <path> (Perfetto span trace; sim.epoch spans every
 // --trace-cycles cycles, default 500; see bench::TraceOutput), --perf
-// (hardware-counter/rusage perf block per record; see bench::JsonOutput).
+// (hardware-counter/rusage perf block per record; see bench::JsonOutput),
+// --deadlock-threshold N (cycles without progress before the watchdog fires
+// on the high-load probe, default 1000; see SimConfig::deadlock_threshold),
+// plus the run-control flags --deadline/--budget/--rss-limit-mb (the sim
+// polls its token every 256 cycles; a cut run reports partial rows and
+// exits with bench::kExitPartial).
 #include "bench_common.hpp"
 
 #include "tcr/metrics/loads.hpp"
@@ -23,8 +28,11 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const int k = cli.get_int("k", 4);
   const int cycles = cli.get_int("cycles", 3000);
+  const long deadlock_threshold = cli.get_int("deadlock-threshold", 1000);
+  bench::RunControl rc(cli);
   bench::JsonOutput jout(cli, "sim_saturation",
-                         obs::Json::object().set("k", k).set("cycles", cycles));
+                         obs::Json::object().set("k", k).set("cycles", cycles).set(
+                             "deadlock_threshold", deadlock_threshold));
   bench::TraceOutput trace(cli);
 
   bench::banner("Flit-level simulator: measured vs analytic saturation throughput",
@@ -34,12 +42,14 @@ int main(int argc, char** argv) {
   cfg.warmup_cycles = cycles / 3;
   cfg.measure_cycles = cycles;
   cfg.drain_cycles = 0;
+  rc.apply(cfg);
   if (trace.enabled()) cfg.trace_every_k_cycles = cli.get_int("trace-cycles", 500);
 
   TextTable table({"algorithm", "pattern", "analytic Theta", "sim saturation", "fraction",
                    "deadlock", "lat p50", "lat p95", "lat p99", "lat max"});
   const std::vector<std::string> patterns = {"uniform", "complement", "tornado"};
   for (auto make : {make_dor, make_ival, make_valiant}) {
+    if (rc.cancelled()) break;
     const TorusRouting r = make(torus);
     for (const auto& name : patterns) {
       std::vector<int> perm;
@@ -50,11 +60,17 @@ int main(int argc, char** argv) {
         perm = named_permutation(torus, name);
         analytic = std::min(1.0, 1.0 / max_channel_load(r, perm));
       }
+      if (rc.cancelled()) break;
       const double sat = saturation_throughput(r, perm, cfg, 0.06);
       // A high-load probe for the deadlock and latency-distribution columns.
       SimConfig probe = cfg;
-      probe.deadlock_threshold = 1000;
+      probe.deadlock_threshold = deadlock_threshold;
       const auto high = simulate(r, 0.95, perm, probe);
+      if (high.cancelled || rc.cancelled()) {
+        // A budget cut mid-probe leaves partial stats; drop the row rather
+        // than report a half-measured latency distribution.
+        break;
+      }
       table.add_row({r.name(), name, TextTable::num(analytic, 3), TextTable::num(sat, 3),
                      TextTable::num(sat / analytic, 2), high.deadlocked ? "YES" : "no",
                      TextTable::num(high.p50_latency, 1), TextTable::num(high.p95_latency, 1),
@@ -79,5 +95,5 @@ int main(int argc, char** argv) {
   std::cout << "\nexpectation: fractions well below saturation track 1.0x of the bound at\n"
                "low rates; at saturation an input-queued single-flit router typically\n"
                "reaches 60-100% of the ideal output-queued bound (§2.1).\n";
-  return 0;
+  return rc.finish();
 }

@@ -6,11 +6,18 @@
 #pragma once
 
 #include <limits>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "tcr/core/arc_flow.hpp"
+#include "tcr/guard/guard.hpp"
 #include "tcr/util/thread_pool.hpp"
+
+namespace tcr::guard {
+class JournalWriter;
+}
 
 namespace tcr {
 
@@ -32,8 +39,21 @@ struct TradeoffPoint {
   /// Warm-start adoption outcome of the point's solve ("cold"/"accepted"/
   /// "repaired"/"rejected"; see lp::Solution::warm_start).
   std::string warm_start = "cold";
+  /// Simplex iterations the point's solve used (budget diagnosis).
+  long iterations = 0;
+  /// Where the value came from:
+  ///   "measured"  — solved in this run;
+  ///   "resumed"   — replayed verbatim from a checkpoint journal;
+  ///   "degraded"  — the solve blew its budget or exhausted the recovery
+  ///                 ladder; capacity_fraction, when finite, is *interpolated*
+  ///                 per §5.3 (eq. 14) from certified neighbors, not measured;
+  ///   "skipped"   — abandoned on external cancellation (signal); a resumed
+  ///                 run will compute it properly.
+  /// Gates must never treat degraded/skipped points as measurements.
+  std::string provenance = "measured";
 
   bool solved() const { return status == lp::Status::Optimal; }
+  bool degraded() const { return provenance == "degraded"; }
 };
 
 /// How a sweep executes its points.
@@ -50,7 +70,62 @@ struct SweepConfig {
   /// (points, chains), so parallel and serial sweeps of the same
   /// configuration produce identical point series.
   int chains = 0;
+
+  // ---- run control (all optional, none owned) ----
+  /// Cooperative cancellation/budget token. Checked before every point and
+  /// threaded into each solve via SimplexOptions::cancel by the caller;
+  /// once it fires, in-flight points stop with lp::Status::Cancelled and
+  /// remaining points are labeled without being attempted (the degradation
+  /// post-pass assigns "degraded" or "skipped" by the stop reason).
+  guard::CancelToken* cancel = nullptr;
+  /// Checkpoint journal: every point that reaches a terminal (non-cancelled)
+  /// status is appended as SweepCheckpoint::encode(index, point, basis),
+  /// durably, the moment it completes. Shared by parallel chains.
+  guard::JournalWriter* journal = nullptr;
+  /// Previously completed points (loaded from a journal): replayed verbatim
+  /// with provenance "resumed", and their journaled bases re-chain the warm
+  /// starts, so a killed run resumed with the same grid/options reproduces
+  /// the uninterrupted point series bitwise.
+  const struct SweepResume* resume = nullptr;
 };
+
+/// Completed points of an earlier (killed) sweep, keyed by point index.
+struct SweepResume {
+  std::map<int, std::pair<TradeoffPoint, lp::Basis>> points;
+
+  bool has(int index) const { return points.find(index) != points.end(); }
+};
+
+/// Codec for one journaled sweep point: the TradeoffPoint result plus the
+/// exported simplex basis that warm-starts the next point. Binary and
+/// machine-local (doubles are stored bit-exact — resume must reproduce the
+/// uninterrupted run bitwise; journals are not an interchange format).
+/// Basis::edited_rows is not stored: SymmetricArcDesign::solve re-annotates
+/// the moved locality row on every warm solve.
+struct SweepCheckpoint {
+  static std::string encode(int index, const TradeoffPoint& pt, const lp::Basis& basis);
+  /// Strict decode; false on any truncation, trailing bytes or version
+  /// mismatch (the journal layer already CRC-checks payload integrity).
+  static bool decode(const std::string& payload, int* index, TradeoffPoint* pt,
+                     lp::Basis* basis);
+};
+
+/// Load a checkpoint journal written by SweepConfig::journal. Returns false
+/// with a position-bearing *error on hard corruption; a torn final record
+/// (killed mid-append) is dropped and reported via *truncated_tail.
+bool load_sweep_resume(const std::string& path, SweepResume* out, bool* truncated_tail,
+                       std::string* error);
+
+/// Degradation post-pass (run by every sweep; exposed so tests can pin the
+/// §5.3 arithmetic). Points stopped by a budget (`reason` Deadline/
+/// Iterations/Memory) or whose recovery ladder exhausted (Status::Numerical)
+/// become "degraded": when certified neighbors exist on both sides, the
+/// capacity fraction is filled with the eq. 14 harmonic interpolation
+///   theta(alpha) = 1 / (alpha/theta_j + (1-alpha)/theta_k),
+///   alpha = (L_k - L_i) / (L_k - L_j)
+/// and the note names the anchor points; one-sided points stay NaN but are
+/// still flagged. Points cancelled by an external signal become "skipped".
+void fill_degraded_points(std::vector<TradeoffPoint>& points, guard::StopReason reason);
 
 /// Worst-case curve (Figure 1): for each normalized locality L, the best
 /// achievable worst-case throughput as a capacity fraction (LP (10) with

@@ -1,6 +1,8 @@
 #include "tcr/fault/fault.hpp"
 
 #include <cmath>
+#include <cstdlib>
+#include <limits>
 
 #include "tcr/util/check.hpp"
 #include "tcr/util/rng.hpp"
@@ -50,6 +52,29 @@ lp::Model perturb_model_ulp(const lp::Model& model, std::uint64_t seed, int max_
 
 SimplexHooks* simplex_hooks() noexcept {
   return g_simplex_hooks.load(std::memory_order_acquire);
+}
+
+bool install_env_simplex_faults() {
+  const char* ms_env = std::getenv("TCR_FAULT_STALL_MS");
+  if (ms_env == nullptr) return false;
+  const double ms = std::strtod(ms_env, nullptr);
+  if (!(ms > 0.0)) return false;
+  // Process-lifetime hooks: the env contract is "this whole run is slow",
+  // so the object is intentionally never uninstalled.
+  static SimplexHooks hooks;
+  hooks.stall_ms = ms;
+  long budget = std::numeric_limits<long>::max();
+  if (const char* n = std::getenv("TCR_FAULT_STALL_REFACTORS")) {
+    budget = std::strtol(n, nullptr, 10);
+  }
+  hooks.stall_refactors.store(budget, std::memory_order_relaxed);
+  long after = 0;
+  if (const char* n = std::getenv("TCR_FAULT_STALL_AFTER")) {
+    after = std::strtol(n, nullptr, 10);
+  }
+  hooks.stall_after.store(after, std::memory_order_relaxed);
+  install_simplex_hooks(&hooks);
+  return true;
 }
 
 void install_simplex_hooks(SimplexHooks* hooks) noexcept {

@@ -55,11 +55,21 @@ struct SimplexHooks {
   /// that only an independent certificate can catch.
   std::atomic<long> corrupt_solutions{0};
   double solution_corruption = 0.0;
+  /// While > 0, each refactorization first burns stall_ms of wall clock,
+  /// consuming one unit per stall — the slowdown injector that lets
+  /// deadline/budget paths (tcr::guard) be exercised on small models. The
+  /// first stall_after refactorizations pass untouched (also a consumed
+  /// budget), so a run can complete its early work at full speed and then
+  /// crawl into its deadline with certified neighbors already banked.
+  std::atomic<long> stall_refactors{0};
+  double stall_ms = 0.0;
+  std::atomic<long> stall_after{0};
 
   // Injection counts observed (for test assertions).
   std::atomic<long> refactor_failures_injected{0};
   std::atomic<long> eta_drifts_injected{0};
   std::atomic<long> corruptions_injected{0};
+  std::atomic<long> stalls_injected{0};
 
   /// Consume one unit of an armed budget; returns true when the fault fires.
   static bool consume(std::atomic<long>& budget) {
@@ -78,6 +88,16 @@ SimplexHooks* simplex_hooks() noexcept;
 /// Install (or, with nullptr, clear) the process-wide hooks. Tests should
 /// prefer ScopedSimplexFaults.
 void install_simplex_hooks(SimplexHooks* hooks) noexcept;
+
+/// Install stall hooks from the environment, for subprocess e2e tests that
+/// cannot reach into the binary (same idiom as TCR_PERF_INJECT_SCALE):
+/// when TCR_FAULT_STALL_MS is set and positive, installs a process-lifetime
+/// SimplexHooks with that stall_ms, stall_refactors from
+/// TCR_FAULT_STALL_REFACTORS (default: effectively unlimited) and
+/// stall_after from TCR_FAULT_STALL_AFTER (default 0). Returns true when
+/// hooks were installed. Benches call this once at startup; production
+/// binaries never do.
+bool install_env_simplex_faults();
 
 /// RAII installer: owns a SimplexHooks, installs it on construction and
 /// clears the registration on destruction.

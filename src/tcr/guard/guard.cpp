@@ -1,0 +1,158 @@
+#include "tcr/guard/guard.hpp"
+
+#include <chrono>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <signal.h>
+#endif
+
+#include "tcr/perf/perf.hpp"
+#include "tcr/util/check.hpp"
+
+namespace tcr::guard {
+
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Poll /proc for the RSS cap only every this many check() calls: the read is
+// a file open + parse, three orders of magnitude above the flag load.
+constexpr std::uint64_t kRssPollEvery = 64;
+
+}  // namespace
+
+const char* to_string(StopReason r) {
+  switch (r) {
+    case StopReason::None: return "none";
+    case StopReason::Deadline: return "deadline";
+    case StopReason::Iterations: return "iterations";
+    case StopReason::Memory: return "memory";
+    case StopReason::Signal: return "signal";
+  }
+  return "?";
+}
+
+void CancelToken::arm(const RunBudget& budget) {
+  budget_ = budget;
+  deadline_ns_ = budget.deadline_seconds > 0.0
+                     ? steady_now_ns() +
+                           static_cast<std::int64_t>(budget.deadline_seconds * 1e9)
+                     : 0;
+  iterations_.store(0, std::memory_order_relaxed);
+  checks_.store(0, std::memory_order_relaxed);
+}
+
+void CancelToken::cancel(StopReason reason) noexcept {
+  // First reason wins; the flag is released after it so a reader that sees
+  // cancelled() also sees the reason.
+  int expected = static_cast<int>(StopReason::None);
+  reason_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                  std::memory_order_acq_rel);
+  cancelled_.store(true, std::memory_order_release);
+}
+
+bool CancelToken::check() noexcept {
+  if (cancelled_.load(std::memory_order_acquire)) return true;
+  if (deadline_ns_ != 0 && steady_now_ns() >= deadline_ns_) {
+    cancel(StopReason::Deadline);
+    return true;
+  }
+  if (budget_.max_rss_kb > 0 &&
+      checks_.fetch_add(1, std::memory_order_relaxed) % kRssPollEvery == 0) {
+    const std::int64_t rss = perf::process_peak_rss_kb();
+    rss_seen_kb_.store(rss, std::memory_order_relaxed);
+    if (rss > budget_.max_rss_kb) {
+      cancel(StopReason::Memory);
+      return true;
+    }
+  }
+  return false;
+}
+
+void CancelToken::charge_iterations(long n) noexcept {
+  const long total = iterations_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (budget_.max_iterations > 0 && total >= budget_.max_iterations) {
+    cancel(StopReason::Iterations);
+  }
+}
+
+std::string CancelToken::note() const {
+  switch (reason()) {
+    case StopReason::None:
+      return {};
+    case StopReason::Deadline:
+      return "deadline of " + std::to_string(budget_.deadline_seconds) +
+             "s exceeded";
+    case StopReason::Iterations:
+      return "iteration budget of " + std::to_string(budget_.max_iterations) +
+             " exhausted (charged " + std::to_string(iterations_used()) + ")";
+    case StopReason::Memory:
+      return "peak RSS " + std::to_string(rss_seen_kb_.load(std::memory_order_relaxed)) +
+             " KB exceeded cap " + std::to_string(budget_.max_rss_kb) + " KB";
+    case StopReason::Signal:
+      return SignalGuard::signalled()
+                 ? "cancelled by signal " + std::to_string(SignalGuard::signal_number())
+                 : "cancelled";
+  }
+  return {};
+}
+
+// ---- SignalGuard --------------------------------------------------------
+
+namespace {
+// The handler may run on any thread at any instant, so everything it
+// touches is a lock-free atomic.
+std::atomic<CancelToken*> g_signal_token{nullptr};
+std::atomic<int> g_signal_number{0};
+
+#if defined(__unix__) || defined(__APPLE__)
+struct sigaction g_prev_int;   // NOLINT: written only while a guard is alive
+struct sigaction g_prev_term;  // NOLINT
+
+void guard_signal_handler(int sig) {
+  g_signal_number.store(sig, std::memory_order_relaxed);
+  if (CancelToken* tok = g_signal_token.load(std::memory_order_acquire)) {
+    tok->cancel(StopReason::Signal);
+  }
+}
+#endif
+}  // namespace
+
+SignalGuard::SignalGuard(CancelToken& token) {
+  CancelToken* expected = nullptr;
+  TCR_REQUIRE(g_signal_token.compare_exchange_strong(expected, &token),
+              "only one guard::SignalGuard may be alive per process");
+#if defined(__unix__) || defined(__APPLE__)
+  struct sigaction sa {};
+  sa.sa_handler = &guard_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: interrupt blocking syscalls too
+  sigaction(SIGINT, &sa, &g_prev_int);
+  sigaction(SIGTERM, &sa, &g_prev_term);
+  installed_ = true;
+#endif
+}
+
+SignalGuard::~SignalGuard() {
+#if defined(__unix__) || defined(__APPLE__)
+  if (installed_) {
+    sigaction(SIGINT, &g_prev_int, nullptr);
+    sigaction(SIGTERM, &g_prev_term, nullptr);
+  }
+#endif
+  g_signal_token.store(nullptr, std::memory_order_release);
+}
+
+bool SignalGuard::signalled() noexcept {
+  return g_signal_number.load(std::memory_order_relaxed) != 0;
+}
+
+int SignalGuard::signal_number() noexcept {
+  return g_signal_number.load(std::memory_order_relaxed);
+}
+
+}  // namespace tcr::guard

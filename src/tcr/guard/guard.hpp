@@ -1,0 +1,129 @@
+// tcr::guard — run control: budgets, deadlines, and cooperative
+// cancellation for long solves, sweeps and simulations.
+//
+// The model is cooperative and allocation-free on the hot path:
+//
+//   * a RunBudget names the limits (wall-clock deadline, cumulative simplex
+//     iterations, peak RSS);
+//   * a CancelToken carries them. Workers call check() at natural safepoints
+//     (the simplex every few iterations, the simulator every few hundred
+//     cycles, the sweep between points) — one relaxed atomic load when
+//     nothing has fired, a clock compare when a deadline is armed, and a
+//     /proc poll only every 64th check when an RSS cap is armed;
+//   * exhaustion latches a StopReason; everything downstream unwinds by
+//     returning partial results with a distinct status (lp::Status::
+//     Cancelled, SimStats::cancelled) and a diagnosable note. Nothing
+//     aborts, nothing throws.
+//
+// cancel() is async-signal-safe (plain atomic stores), so SignalGuard can
+// point SIGINT/SIGTERM straight at a token: the handler latches the reason
+// and the run unwinds cooperatively, flushing journals and emitting a valid
+// partial report on the way out (see bench/bench_common.hpp RunControl).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace tcr::guard {
+
+/// Why a run was stopped early. None means "still running".
+enum class StopReason : int {
+  None = 0,
+  Deadline,    // wall-clock deadline passed
+  Iterations,  // cumulative simplex-iteration budget exhausted
+  Memory,      // peak RSS exceeded the cap
+  Signal,      // external cancellation (SIGINT/SIGTERM or explicit cancel())
+};
+
+const char* to_string(StopReason r);
+
+/// Resource limits for one run. Zero fields are unlimited; a
+/// default-constructed budget imposes nothing.
+struct RunBudget {
+  double deadline_seconds = 0.0;  ///< wall-clock limit, measured from arm()
+  long max_iterations = 0;        ///< cumulative simplex iterations, all solves
+  std::int64_t max_rss_kb = 0;    ///< process peak-RSS cap (VmHWM)
+
+  bool unlimited() const {
+    return deadline_seconds <= 0.0 && max_iterations <= 0 && max_rss_kb <= 0;
+  }
+};
+
+/// Shared cancellation point. One token typically guards one run (a sweep,
+/// a bench, a service job) and is checked by every worker thread; all
+/// methods are thread-safe and cancel() is additionally async-signal-safe.
+/// Once cancelled, a token stays cancelled: the first latched reason wins.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  explicit CancelToken(const RunBudget& budget) { arm(budget); }
+
+  /// Install a budget; the deadline clock starts now. Not thread-safe
+  /// against concurrent check() — arm before handing the token to workers.
+  void arm(const RunBudget& budget);
+
+  /// Latch cancellation. Safe from signal handlers and any thread; only the
+  /// first reason is kept.
+  void cancel(StopReason reason = StopReason::Signal) noexcept;
+
+  /// Has the token fired? One relaxed load (no budget evaluation).
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  StopReason reason() const noexcept {
+    return static_cast<StopReason>(reason_.load(std::memory_order_acquire));
+  }
+
+  /// Cooperative safepoint: returns true when the run should stop, latching
+  /// the budget reason on first detection. Cheap enough for inner loops at
+  /// a modest cadence (the simplex calls it every 16 iterations).
+  bool check() noexcept;
+
+  /// Add `n` simplex iterations to the cumulative tally; fires the token
+  /// when an iteration budget is armed and exhausted.
+  void charge_iterations(long n) noexcept;
+
+  long iterations_used() const noexcept {
+    return iterations_.load(std::memory_order_relaxed);
+  }
+
+  const RunBudget& budget() const noexcept { return budget_; }
+
+  /// Human-readable stop diagnosis ("deadline of 2.5s exceeded", ...);
+  /// empty while the token has not fired. Not async-signal-safe.
+  std::string note() const;
+
+ private:
+  RunBudget budget_;
+  std::int64_t deadline_ns_ = 0;  // steady-clock ns; 0 = no deadline armed
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int> reason_{static_cast<int>(StopReason::None)};
+  std::atomic<long> iterations_{0};
+  std::atomic<std::uint64_t> checks_{0};  // paces the RSS poll
+  std::atomic<std::int64_t> rss_seen_kb_{0};  // last polled peak RSS
+};
+
+/// RAII SIGINT/SIGTERM hook: while alive, either signal latches
+/// StopReason::Signal on the given token (and is remembered), so a Ctrl-C
+/// or a `kill -TERM` turns into a cooperative unwind instead of a corrupt
+/// half-written journal. The previous handlers are restored on destruction.
+/// At most one SignalGuard may be alive per process.
+class SignalGuard {
+ public:
+  explicit SignalGuard(CancelToken& token);
+  ~SignalGuard();
+  SignalGuard(const SignalGuard&) = delete;
+  SignalGuard& operator=(const SignalGuard&) = delete;
+
+  /// Did a guarded signal arrive (process-wide, latching)?
+  static bool signalled() noexcept;
+  /// The signal number that arrived, or 0.
+  static int signal_number() noexcept;
+
+ private:
+  bool installed_ = false;
+};
+
+}  // namespace tcr::guard

@@ -14,6 +14,7 @@ const char* to_string(Status s) {
     case Status::Unbounded: return "unbounded";
     case Status::IterationLimit: return "iteration-limit";
     case Status::Numerical: return "numerical";
+    case Status::Cancelled: return "cancelled";
   }
   return "?";
 }

@@ -29,6 +29,12 @@ enum class Status {
   Unbounded,
   IterationLimit,
   Numerical,
+  /// Stopped cooperatively by a guard::CancelToken (deadline, budget or
+  /// signal; SimplexOptions::cancel). The solution is partial: the exported
+  /// basis is the best-so-far point and can warm-start a continuation, and
+  /// the note carries the token's stop diagnosis. Unlike Numerical, the
+  /// recovery ladder never re-solves a cancelled attempt.
+  Cancelled,
 };
 
 const char* to_string(Status s);

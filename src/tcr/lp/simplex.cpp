@@ -1,11 +1,14 @@
 #include "tcr/lp/simplex.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "tcr/fault/fault.hpp"
+#include "tcr/guard/guard.hpp"
 #include "tcr/lin/sparse.hpp"
 #include "tcr/lin/sparse_lu.hpp"
 #include "tcr/lp/certify.hpp"
@@ -140,6 +143,13 @@ class RevisedSimplex {
   Solution run_impl() {
     met_.solves.add(1);
     Solution sol;
+    if (opt_.cancel != nullptr && opt_.cancel->check()) {
+      // A fired token means a whole-run stop: refuse the solve outright so
+      // sweeps and the recovery ladder unwind without touching the basis.
+      sol.status = Status::Cancelled;
+      finish(sol);
+      return sol;
+    }
     WarmAdopt warm = WarmAdopt::kRejected;
     if (warm_ != nullptr && !warm_->empty()) warm = apply_warm(*warm_);
     if (warm == WarmAdopt::kRejected && !refactorize()) {
@@ -247,6 +257,13 @@ class RevisedSimplex {
       case Status::Numerical:
         sol.note = "numerical breakdown after " + std::to_string(iters_) + " iterations, " +
                    std::to_string(refactor_count_) + " refactorizations";
+        break;
+      case Status::Cancelled:
+        sol.note = "cancelled after " + std::to_string(iters_) + " iterations";
+        if (opt_.cancel != nullptr) {
+          const std::string why = opt_.cancel->note();
+          if (!why.empty()) sol.note += ": " + why;
+        }
         break;
     }
   }
@@ -614,6 +631,15 @@ class RevisedSimplex {
     met_.eta_length.record(static_cast<double>(etas_.size()));
     etas_.clear();
     if (auto* h = fault::simplex_hooks()) {
+      // Injected slowdown (deadline/budget e2e): burn stall_ms here, at the
+      // same boundary the run-control token is polled near, once the
+      // stall_after skip budget is spent.
+      if (h->stall_refactors.load(std::memory_order_relaxed) > 0 &&
+          !fault::SimplexHooks::consume(h->stall_after) &&
+          fault::SimplexHooks::consume(h->stall_refactors)) {
+        h->stalls_injected.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(h->stall_ms));
+      }
       if (fault::SimplexHooks::consume(h->fail_refactors)) {
         h->refactor_failures_injected.fetch_add(1, std::memory_order_relaxed);
         return false;
@@ -728,6 +754,17 @@ class RevisedSimplex {
       if (++iters_ > max_iters_) {
         flush_degenerate_run();
         return Status::IterationLimit;
+      }
+
+      // Run-control safepoint: batch-charge the token's cumulative
+      // iteration budget and poll deadline/RSS/signal every 16 iterations
+      // (one predicted branch per iteration when no token is armed).
+      if (opt_.cancel != nullptr && (iters_ & 15) == 0) {
+        opt_.cancel->charge_iterations(16);
+        if (opt_.cancel->check()) {
+          flush_degenerate_run();
+          return Status::Cancelled;
+        }
       }
 
       {

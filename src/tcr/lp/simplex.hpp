@@ -17,6 +17,10 @@
 
 #include "tcr/lp/model.hpp"
 
+namespace tcr::guard {
+class CancelToken;
+}
+
 namespace tcr::lp {
 
 struct SimplexOptions {
@@ -50,6 +54,15 @@ struct SimplexOptions {
   /// The dense fallback only runs when rows + cols <= this (it is O(m^2 n)
   /// per iteration; beyond this it would dominate the solve time).
   int dense_fallback_max_dim = 600;
+
+  // ---- run control ----
+  /// Optional cooperative cancellation/budget token (not owned; must
+  /// outlive the solve). The solver polls it every 16 iterations and at
+  /// solve entry, charging iterations against the token's cumulative
+  /// budget; when it fires, the solve stops with Status::Cancelled, a
+  /// best-so-far basis, and the token's diagnosis in the note. A cancelled
+  /// attempt is final — the recovery ladder does not retry it.
+  guard::CancelToken* cancel = nullptr;
 };
 
 /// Solve with the sparse revised simplex. On numerical breakdown — or, when

@@ -155,6 +155,10 @@ std::int64_t wall_now_ns() {
 
 }  // namespace
 
+std::int64_t process_peak_rss_kb() {
+  return peak_rss_kb(read_rusage().max_rss_kb);
+}
+
 Sample scale_sample(Sample s, double factor) {
   const auto scale = [factor](std::int64_t v) {
     return v < 0 ? v : static_cast<std::int64_t>(static_cast<double>(v) * factor);

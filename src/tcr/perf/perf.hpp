@@ -122,6 +122,11 @@ struct Sample {
 /// tests can pin it.
 Sample scale_sample(Sample s, double factor);
 
+/// Current peak RSS of the process in KB (VmHWM from /proc/self/status,
+/// getrusage fallback). Independent of collecting() — guard::CancelToken
+/// polls this for its memory budget.
+std::int64_t process_peak_rss_kb();
+
 /// Start process-wide collection: opens the counter backend (perf_event
 /// first unless forced to rusage, which is also what any open failure
 /// degrades to) and flips the collecting flag. Reads the TCR_PERF_* env

@@ -183,6 +183,21 @@ Comparison compare_quantity(const Quantity& q, const std::vector<BenchRun>& runs
     return cmp;
   }
 
+  // A degraded point is a §5.3 interpolation and a skipped point was never
+  // attempted (run control, tcr::guard) — neither is a measurement, so
+  // neither may satisfy a gate even when its value lands inside tolerance.
+  // Benches stamp `provenance` only on such points ("resumed" is normalized
+  // away before records are written).
+  if (const obs::Json* provenance = record->point.find("provenance");
+      provenance != nullptr && provenance->is_string() &&
+      provenance->as_string() != "measured") {
+    cmp.actual = point_number(*record, q.field);
+    cmp.outcome = Comparison::Outcome::Breach;
+    cmp.reason = "GOLDEN BREACH " + q.id + ": matched record is " + provenance->as_string() +
+                 ", not measured — interpolated (eq. 14) or unattempted under run control";
+    return cmp;
+  }
+
   cmp.actual = point_number(*record, q.field);
   const bool golden_solved = !std::isnan(q.measured);
   const bool actual_solved = !std::isnan(cmp.actual);

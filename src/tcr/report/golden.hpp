@@ -86,7 +86,9 @@ bool load_golden(const std::string& path, GoldenFile* out, std::string* error);
 struct Comparison {
   enum class Outcome {
     Pass,     ///< within tolerance (or both recorded & fresh unsolved)
-    Breach,   ///< outside tolerance, or solved/unsolved state changed
+    Breach,   ///< outside tolerance, solved/unsolved state changed, or the
+              ///< matched record is degraded/skipped (an interpolation or a
+              ///< hole under run control — never accepted as a measurement)
     Missing,  ///< no record matched (bench not run or series absent)
   };
   std::string id;      ///< Quantity::id

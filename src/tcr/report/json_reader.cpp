@@ -260,22 +260,54 @@ bool parse_json(std::string_view text, obs::Json* out, std::string* error) {
   return Parser(text).parse(out, error);
 }
 
-bool parse_json_lines(std::istream& in, std::vector<obs::Json>* out, std::string* error) {
+namespace {
+
+// Shared body of the strict and tail-tolerant JSON-lines readers. In
+// tolerant mode a parse failure is deferred one iteration: it only becomes
+// a hard error once a later non-blank line proves the bad record was not
+// the file's torn tail.
+bool parse_lines_impl(std::istream& in, std::vector<obs::Json>* out, std::string* truncated,
+                      std::string* error) {
   out->clear();
+  if (truncated != nullptr) truncated->clear();
   std::string line;
   int lineno = 0;
+  std::string pending_error;  // tolerant mode: failure awaiting a successor
   while (std::getline(in, line)) {
     ++lineno;
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    if (!pending_error.empty()) {
+      if (error != nullptr) *error = pending_error;
+      return false;
+    }
     obs::Json record;
     std::string err;
     if (!parse_json(line, &record, &err)) {
-      if (error != nullptr) *error = "line " + std::to_string(lineno) + ": " + err;
-      return false;
+      const std::string described = "line " + std::to_string(lineno) + ": " + err;
+      if (truncated == nullptr) {
+        if (error != nullptr) *error = described;
+        return false;
+      }
+      pending_error = described;
+      continue;
     }
     out->push_back(std::move(record));
   }
+  if (!pending_error.empty() && truncated != nullptr) {
+    *truncated = "dropped torn final record (" + pending_error + ")";
+  }
   return true;
+}
+
+}  // namespace
+
+bool parse_json_lines(std::istream& in, std::vector<obs::Json>* out, std::string* error) {
+  return parse_lines_impl(in, out, nullptr, error);
+}
+
+bool parse_json_lines_tolerant(std::istream& in, std::vector<obs::Json>* out,
+                               std::string* truncated, std::string* error) {
+  return parse_lines_impl(in, out, truncated, error);
 }
 
 bool parse_json_file(const std::string& path, obs::Json* out, std::string* error) {

@@ -19,8 +19,17 @@ namespace tcr::report {
 bool parse_json(std::string_view text, obs::Json* out, std::string* error);
 
 /// Parse a whole JSON-lines stream (one document per line, blank lines
-/// skipped). On error, *error names the failing line number.
+/// skipped). On error, *error names the failing line number and offset.
 bool parse_json_lines(std::istream& in, std::vector<obs::Json>* out, std::string* error);
+
+/// Like parse_json_lines, but tolerates a torn *final* line — the signature
+/// of a writer killed mid-record (crash, SIGKILL, full disk). The torn line
+/// is dropped and described in *truncated (line number + parse position);
+/// *truncated stays empty for a clean stream. Malformed records anywhere
+/// before the final line are still hard errors: mid-file corruption is not
+/// truncation and must not be silently skipped.
+bool parse_json_lines_tolerant(std::istream& in, std::vector<obs::Json>* out,
+                               std::string* truncated, std::string* error);
 
 /// Read and parse a file holding a single JSON document.
 bool parse_json_file(const std::string& path, obs::Json* out, std::string* error);

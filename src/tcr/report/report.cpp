@@ -38,7 +38,8 @@ obs::Json build_report(const std::string& preset, bool gating_enabled,
                              .set("bench", b.bench)
                              .set("records_path", b.records_path)
                              .set("exit_code", b.exit_code)
-                             .set("records", static_cast<long long>(b.records)));
+                             .set("records", static_cast<long long>(b.records))
+                             .set("partial", b.partial));
   }
 
   auto comparison_list = obs::Json::array();

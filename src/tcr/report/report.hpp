@@ -34,6 +34,10 @@ struct BenchOutcome {
   std::string records_path; ///< the .jsonl this run was parsed from
   int exit_code = 0;
   std::size_t records = 0;  ///< series points parsed
+  /// Run control cut the run short (bench exit 7) or the record file ends
+  /// in a torn line: every parsed record is valid but the set is
+  /// incomplete, so golden gating must not treat it as a measurement run.
+  bool partial = false;
 };
 
 /// Build the report.json document (schema_version, preset, benches,

@@ -7,7 +7,8 @@
 
 namespace tcr::report {
 
-bool parse_run_file(const std::string& path, BenchRun* out, std::string* error) {
+bool parse_run_file(const std::string& path, BenchRun* out, std::string* error,
+                    const RunFileOptions& options) {
   std::ifstream in(path);
   if (!in) {
     if (error != nullptr) *error = "cannot open '" + path + "'";
@@ -15,7 +16,12 @@ bool parse_run_file(const std::string& path, BenchRun* out, std::string* error) 
   }
   std::vector<obs::Json> lines;
   std::string err;
-  if (!parse_json_lines(in, &lines, &err)) {
+  out->truncation_note.clear();
+  const bool parsed =
+      options.tolerate_truncated_tail
+          ? parse_json_lines_tolerant(in, &lines, &out->truncation_note, &err)
+          : parse_json_lines(in, &lines, &err);
+  if (!parsed) {
     if (error != nullptr) *error = path + ": " + err;
     return false;
   }

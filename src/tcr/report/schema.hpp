@@ -46,12 +46,24 @@ struct BenchRun {
   obs::Json params;      ///< resolved CLI parameters of the run (object)
   obs::Json provenance;  ///< build/host provenance; null in older records
   std::vector<BenchRecord> records;
+  /// Non-empty when the reader ran tail-tolerant and dropped a torn final
+  /// record (position-bearing description). Consumers gating golden values
+  /// must treat such a run as partial, never as a clean measurement set.
+  std::string truncation_note;
+};
+
+struct RunFileOptions {
+  /// Tolerate a torn final record (writer killed mid-line): drop it, note
+  /// it in BenchRun::truncation_note, and parse the rest. Mid-file
+  /// corruption stays a hard, position-bearing error either way.
+  bool tolerate_truncated_tail = false;
 };
 
 /// Parse one bench run file (JSON-lines, first line `kind:"meta"`).
 /// Returns false and fills *error on malformed input, a missing/foreign
 /// header, or an unsupported schema_version.
-bool parse_run_file(const std::string& path, BenchRun* out, std::string* error);
+bool parse_run_file(const std::string& path, BenchRun* out, std::string* error,
+                    const RunFileOptions& options = {});
 
 /// Numeric series value of a point, by field name. Missing fields and JSON
 /// null (the writer's encoding of NaN — unsolved points) both return NaN.

@@ -238,39 +238,48 @@ SimStats Simulator::run() {
     }
     return false;
   };
+  // Run-control safepoint: one flag poll (plus deadline/RSS evaluation)
+  // every 256 cycles — far below the cost of a single simulated cycle.
+  auto cancelled = [&](int i) {
+    if (cfg_.cancel == nullptr || (i & 255) != 0) return false;
+    if (!cfg_.cancel->check()) return false;
+    stats_.cancelled = true;
+    return true;
+  };
 
   {
     trace::Span phase("sim.warmup");
     begin_epoch();
     for (int i = 0; i < cfg_.warmup_cycles; ++i) {
       step();
-      if (deadlock_check()) break;
+      if (deadlock_check() || cancelled(i)) break;
     }
     end_epoch();
   }
-  if (!stats_.deadlocked) {
+  if (!stats_.deadlocked && !stats_.cancelled) {
     trace::Span phase("sim.measure");
     begin_epoch();
     measuring_ = true;
     window_start_ = cycle_;
     for (int i = 0; i < cfg_.measure_cycles; ++i) {
       step();
-      if (deadlock_check()) break;
+      if (deadlock_check() || cancelled(i)) break;
     }
     if (cycle_ > window_start_) sample_window();  // flush the partial window
     measuring_ = false;
     end_epoch();
   }
-  if (!stats_.deadlocked) {
+  if (!stats_.deadlocked && !stats_.cancelled) {
     trace::Span phase("sim.drain");
     begin_epoch();
     draining_ = true;
     for (int i = 0; i < cfg_.drain_cycles && !network_empty(); ++i) {
       step();
-      if (deadlock_check()) break;
+      if (deadlock_check() || cancelled(i)) break;
     }
     end_epoch();
   }
+  if (stats_.cancelled) stats_.note = cfg_.cancel->note();
 
   stats_.cycles_run = cycle_;
   run_span.attr("cycles", stats_.cycles_run);
@@ -307,6 +316,9 @@ double saturation_throughput(const TorusRouting& routing, const std::vector<int>
   for (int iter = 0; iter < 7; ++iter) {
     const double rate = 0.5 * (lo + hi);
     const SimStats s = simulate(routing, rate, perm, config);
+    // A cancelled probe decides nothing; keep the bisection's best-so-far
+    // bracket as the (partial) estimate.
+    if (s.cancelled) break;
     // Compare against the *measured* offered rate: self-addressed uniform
     // picks never enter the network, so offered < rate under uniform.
     const bool ok = !s.deadlocked && s.accepted_rate >= s.offered_rate * (1.0 - tol);

@@ -13,8 +13,10 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "tcr/guard/guard.hpp"
 #include "tcr/obs/registry.hpp"
 #include "tcr/sim/network.hpp"
 #include "tcr/sim/traffic_gen.hpp"
@@ -43,10 +45,20 @@ struct SimConfig {
   /// Optional fault-injection plan (tcr::fault): links down and credit
   /// stalls during cycle windows. Not owned; must outlive the run.
   const fault::SimFaultPlan* faults = nullptr;
+  /// Optional run-control token (tcr::guard; not owned). Polled every 256
+  /// cycles: when it fires, the run stops at the next poll and returns the
+  /// statistics gathered so far with SimStats::cancelled set and the
+  /// token's diagnosis in SimStats::note — partial numbers, clearly marked,
+  /// never an abort.
+  guard::CancelToken* cancel = nullptr;
 };
 
 struct SimStats {
   bool deadlocked = false;
+  /// The run was stopped early by SimConfig::cancel; every rate/latency
+  /// field covers only the cycles actually simulated (see note).
+  bool cancelled = false;
+  std::string note;  ///< stop diagnosis when cancelled; empty otherwise
   long injected = 0;
   long ejected = 0;
   double offered_rate = 0.0;   // injections per node per cycle (measurement window)

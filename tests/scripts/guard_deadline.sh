@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# e2e deadline gate (tcr::guard): with stall-injected slow solves
+# (TCR_FAULT_STALL_MS, tcr::fault), a --deadline run must stop
+# cooperatively within deadline + grace, exit with the partial status (7),
+# print the stop diagnosis, and label every unfinished point degraded in
+# the --json records — partial numbers, clearly marked, never an abort.
+#
+# Usage: guard_deadline.sh <bench_fig1_binary> <workdir>
+#
+# Chaos knob (env): TCR_E2E_STALL_MS sets the per-refactorization stall
+# (default 500ms); the CI chaos matrix sweeps it to vary how far past the
+# deadline an in-flight stall can carry the run.
+set -u
+
+bench="$1"
+work="$2"
+stall="${TCR_E2E_STALL_MS:-500}"
+rm -rf "$work"
+mkdir -p "$work"
+
+deadline=1.5
+# Cooperative stop: the worst case rides out one in-flight stall plus the
+# poll cadence; the rest is CI scheduling slack.
+grace_total=15
+
+start=$(date +%s)
+TCR_FAULT_STALL_MS="$stall" $bench --k 4 --points 5 --warm \
+  --deadline "$deadline" --json "$work/run.jsonl" >"$work/run.log" 2>&1
+status=$?
+elapsed=$(($(date +%s) - start))
+
+if [ "$status" -ne 7 ]; then
+  echo "deadline run exited $status, want 7 (partial)"
+  cat "$work/run.log"
+  exit 1
+fi
+if [ "$elapsed" -gt "$grace_total" ]; then
+  echo "run took ${elapsed}s; must stop within deadline ($deadline s) + grace"
+  exit 1
+fi
+if ! grep -q "deadline" "$work/run.log"; then
+  echo "stop diagnosis naming the deadline missing from the bench output"
+  cat "$work/run.log"
+  exit 1
+fi
+# Budget-degraded points must be flagged in the records so gates can tell
+# interpolations from measurements.
+if ! grep -q '"provenance":"degraded"' "$work/run.jsonl"; then
+  echo "no degraded-labeled record in run.jsonl"
+  cat "$work/run.jsonl"
+  exit 1
+fi
+
+echo "deadline e2e OK: exit 7 in ${elapsed}s with degraded labeling"

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# e2e crash-safety gate (tcr::guard): a sweep killed with SIGTERM mid-run
+# must exit with the partial status (7), leave a valid checkpoint journal,
+# and a --resume run must reproduce the uninterrupted run's canonical
+# <journal>.report.json bit-for-bit — whatever instant the kill landed.
+#
+# Usage: guard_kill_resume.sh <bench_fig1_binary> <workdir>
+#
+# Chaos knobs (env): TCR_E2E_STALL_MS slows every solver refactorization
+# (default 300ms; the full 5-point run then takes ~6s), TCR_E2E_KILL_DELAY
+# picks the kill instant in seconds (default 1.5) — the CI chaos matrix
+# sweeps it so early, mid and late kill points are all exercised.
+set -u
+
+bench="$1"
+work="$2"
+stall="${TCR_E2E_STALL_MS:-300}"
+delay="${TCR_E2E_KILL_DELAY:-1.5}"
+rm -rf "$work"
+mkdir -p "$work"
+
+args="--k 4 --points 5 --warm"
+
+# 1. Uninterrupted baseline with a checkpoint journal; writes base.jnl.report.json.
+$bench $args --checkpoint "$work/base.jnl" >"$work/base.log" 2>&1
+status=$?
+if [ "$status" -ne 0 ]; then
+  echo "baseline run failed (exit $status)"
+  cat "$work/base.log"
+  exit 1
+fi
+if [ ! -f "$work/base.jnl.report.json" ]; then
+  echo "baseline run wrote no canonical report"
+  exit 1
+fi
+
+# 2. The same sweep, slowed by stall injection so the kill lands mid-run.
+TCR_FAULT_STALL_MS="$stall" $bench $args --checkpoint "$work/kill.jnl" \
+  >"$work/kill.log" 2>&1 &
+pid=$!
+sleep "$delay"
+kill -TERM "$pid" 2>/dev/null || true
+wait "$pid"
+status=$?
+if [ "$status" -ne 7 ]; then
+  echo "killed run exited $status, want 7 (partial; did the kill land too late?)"
+  cat "$work/kill.log"
+  exit 1
+fi
+# A cancelled run has nothing canonical to claim: no report may exist.
+if [ -f "$work/kill.jnl.report.json" ]; then
+  echo "cancelled run must not write a canonical report"
+  exit 1
+fi
+
+# 3. Resume from the journal (no stall): completed points replay verbatim,
+#    their journaled bases re-chain the warm starts, the rest is solved.
+$bench $args --resume "$work/kill.jnl" >"$work/resume.log" 2>&1
+status=$?
+if [ "$status" -ne 0 ]; then
+  echo "resume run failed (exit $status)"
+  cat "$work/resume.log"
+  exit 1
+fi
+
+# 4. Bitwise identity with the uninterrupted baseline.
+if ! cmp "$work/base.jnl.report.json" "$work/kill.jnl.report.json"; then
+  echo "resumed report differs from the uninterrupted baseline:"
+  diff "$work/base.jnl.report.json" "$work/kill.jnl.report.json" || true
+  exit 1
+fi
+
+echo "kill/resume e2e OK: resumed report is bitwise-identical to the baseline"

@@ -320,6 +320,35 @@ TEST(RevisedSimplex, RecoveryLadderConfigRespected) {
   }
 }
 
+TEST(RevisedSimplex, IterationLimitExportsReusableBasis) {
+  // Audit regression for the iteration-limit path: a budgeted-out solve must
+  // (a) say so in a distinct note, (b) still export its best-so-far basis,
+  // and (c) that basis must warm-start a continuation solve to the optimum —
+  // the property sweeps lean on when a budget cuts a chain mid-point.
+  Rng rng(2718);
+  int limited = 0;
+  for (int trial = 0; trial < 40 && limited < 5; ++trial) {
+    Model m = random_model(rng, 10, 14);
+    const auto ref = solve_dense(m);
+    if (ref.status != Status::Optimal) continue;
+
+    SimplexOptions tight;
+    tight.max_iterations = 3;
+    const auto cut = solve(m, tight);
+    if (cut.status != Status::IterationLimit) continue;  // solved within 3
+    ++limited;
+    EXPECT_NE(cut.note.find("iteration limit after"), std::string::npos) << cut.note;
+    ASSERT_FALSE(cut.basis.stat.empty());
+    ASSERT_EQ(cut.basis.basic.size(), static_cast<std::size_t>(m.num_rows()));
+
+    const auto cont = solve(m, SimplexOptions{}, &cut.basis);
+    ASSERT_EQ(cont.status, Status::Optimal) << cont.note;
+    EXPECT_NEAR(cont.objective, ref.objective, 1e-6 * (1 + std::abs(ref.objective)));
+  }
+  // The 3-iteration cap must actually bite on most non-trivial models.
+  EXPECT_GE(limited, 5);
+}
+
 TEST(RevisedSimplex, PopulatesObsMetrics) {
   auto& reg = obs::Registry::instance();
   auto& solves = reg.counter("lp.simplex.solves");

@@ -159,6 +159,67 @@ TEST(Schema, RejectsMissingOrForeignHeader) {
   EXPECT_NE(err.find("does not match"), std::string::npos) << err;
 }
 
+TEST(Schema, TruncationFuzzTornTailToleratedOnlyOnRequest) {
+  // A records file killed mid-write ends in a torn final line. Cut the file
+  // at *every* byte inside the last record: the strict reader must fail with
+  // the line number, and the tolerant reader (what tcr-repro uses) must drop
+  // exactly the torn record, keep the intact prefix, and say what it did.
+  const std::string meta =
+      R"({"schema_version":1,"kind":"meta","bench":"x","params":{}})" "\n";
+  const std::string point1 = R"({"kind":"point","bench":"x","point":{"v":1}})" "\n";
+  const std::string point2 = R"({"kind":"point","bench":"x","point":{"v":2}})" "\n";
+  const std::string full = meta + point1 + point2;
+  const std::size_t tail_start = meta.size() + point1.size();
+  const std::string path = testing::TempDir() + "/torn_run.jsonl";
+
+  report::RunFileOptions tolerant;
+  tolerant.tolerate_truncated_tail = true;
+  // Stop before full.size()-1: dropping only the trailing newline leaves a
+  // complete (parseable) final record, which is not a truncation at all.
+  for (std::size_t cut = tail_start + 1; cut + 1 < full.size(); ++cut) {
+    std::ofstream(path, std::ios::trunc) << full.substr(0, cut);
+
+    BenchRun run;
+    std::string err;
+    EXPECT_FALSE(report::parse_run_file(path, &run, &err)) << "cut at " << cut;
+    EXPECT_NE(err.find("line 3"), std::string::npos) << "cut at " << cut << ": " << err;
+
+    ASSERT_TRUE(report::parse_run_file(path, &run, &err, tolerant))
+        << "cut at " << cut << ": " << err;
+    ASSERT_EQ(run.records.size(), 1u) << "cut at " << cut;
+    EXPECT_EQ(run.records[0].point.find("v")->as_int(), 1);
+    EXPECT_NE(run.truncation_note.find("dropped torn final record"), std::string::npos)
+        << run.truncation_note;
+    EXPECT_NE(run.truncation_note.find("line 3"), std::string::npos) << run.truncation_note;
+  }
+
+  // An intact file parses clean under both readers, with no truncation note.
+  std::ofstream(path, std::ios::trunc) << full;
+  BenchRun run;
+  std::string err;
+  ASSERT_TRUE(report::parse_run_file(path, &run, &err, tolerant)) << err;
+  EXPECT_EQ(run.records.size(), 2u);
+  EXPECT_TRUE(run.truncation_note.empty()) << run.truncation_note;
+}
+
+TEST(Schema, MidFileCorruptionIsHardErrorEvenWhenTolerant) {
+  // Tolerance covers exactly one torn *final* record. A mangled line with
+  // intact lines after it means lost data in the middle; parsing on would
+  // silently drop a record, so both readers must refuse, naming the line.
+  const std::string path = testing::TempDir() + "/midfile_run.jsonl";
+  std::ofstream(path, std::ios::trunc)
+      << R"({"schema_version":1,"kind":"meta","bench":"x","params":{}})" << "\n"
+      << R"({"kind":"point","bench":"x","point":{"v)" << "\n"
+      << R"({"kind":"point","bench":"x","point":{"v":2}})" << "\n";
+
+  report::RunFileOptions tolerant;
+  tolerant.tolerate_truncated_tail = true;
+  BenchRun run;
+  std::string err;
+  EXPECT_FALSE(report::parse_run_file(path, &run, &err, tolerant));
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+}
+
 TEST(Schema, CountsFailedCertificatesAndSkipsUnchecked) {
   BenchRun run;
   run.bench = "demo";

@@ -3,6 +3,7 @@
 // and throughput tracking below saturation.
 #include <gtest/gtest.h>
 
+#include "tcr/fault/fault.hpp"
 #include "tcr/metrics/loads.hpp"
 #include "tcr/metrics/worst_case.hpp"
 #include "tcr/routing/dor.hpp"
@@ -150,6 +151,38 @@ TEST(DeadlockFreedomTornado, HighTornadoLoadSurvives) {
     const TorusRouting r = make(t);
     const auto stats = simulate(r, 0.95, perm, cfg);
     EXPECT_FALSE(stats.deadlocked) << r.name();
+  }
+}
+
+TEST(Simulator, DeadlockWatchdogFiresAtConfiguredThreshold) {
+  // Deterministic firing test for the configurable watchdog: with every
+  // channel down from cycle 0, injected traffic fills the source queues but
+  // nothing ever moves (injection does not count as movement), so the
+  // network is non-empty and quiet from cycle 0 and the watchdog must
+  // declare deadlock right after `deadlock_threshold` quiet cycles — for
+  // any threshold, which pins that the knob is actually honored.
+  const Torus t(4);
+  const TorusRouting dor = make_dor(t);
+  fault::SimFaultPlan all_down;
+  for (int c = 0; c < t.num_channels(); ++c) {
+    fault::LinkFault f;
+    f.channel = c;
+    f.from_cycle = 0;
+    f.until_cycle = 1L << 30;
+    all_down.links.push_back(f);
+  }
+  for (const int threshold : {50, 137}) {
+    SimConfig cfg;
+    cfg.vcs = 2;
+    cfg.warmup_cycles = threshold + 500;
+    cfg.measure_cycles = 100;
+    cfg.drain_cycles = 100;
+    cfg.deadlock_threshold = threshold;
+    cfg.faults = &all_down;
+    const auto stats = simulate(dor, 1.0, {}, cfg);
+    EXPECT_TRUE(stats.deadlocked) << "threshold " << threshold;
+    EXPECT_GE(stats.cycles_run, threshold) << "threshold " << threshold;
+    EXPECT_LE(stats.cycles_run, threshold + 2) << "threshold " << threshold;
   }
 }
 

@@ -49,6 +49,14 @@
 //   5  golden gate breached (value out of tolerance, missing quantity, or a
 //      failed solve certificate anywhere in the records)
 //   6  documentation drift (--check-experiments found a difference)
+//
+// A bench exiting with code 7 (bench::kExitPartial) was cut short by run
+// control (deadline/budget/signal — see tcr::guard): its records are valid
+// but incomplete, so the run is reported as "partial (run control)" and the
+// golden gate is skipped (recorded in report.json as partial benches with
+// gating_enabled:false). Record files are read tail-tolerantly: a torn
+// final line (writer killed mid-record) is dropped, noted, and likewise
+// makes the run partial; corruption anywhere else is still exit 4.
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -78,6 +86,8 @@ constexpr int kExitBenchFailed = 3;
 constexpr int kExitSchema = 4;
 constexpr int kExitGoldenBreach = 5;
 constexpr int kExitDocDrift = 6;
+// What a bench returns when run control stopped it early (bench::kExitPartial).
+constexpr int kBenchExitPartial = 7;
 
 struct BenchSpec {
   std::string bench;              // bench id ("fig1_wc_tradeoff" -> bench_fig1_wc_tradeoff)
@@ -319,8 +329,13 @@ int main(int argc, char** argv) {
       std::cout << "running bench_" << spec.bench << " ..." << std::flush;
       outcome.exit_code =
           run_bench(bench_dir, spec, overrides, out_dir, cli.has("trace"), cli.has("perf"));
-      std::cout << (outcome.exit_code == 0 ? " ok" : " FAILED") << "\n";
-      if (outcome.exit_code != 0) {
+      if (outcome.exit_code == kBenchExitPartial) {
+        outcome.partial = true;
+        std::cout << " partial (run control)\n";
+      } else {
+        std::cout << (outcome.exit_code == 0 ? " ok" : " FAILED") << "\n";
+      }
+      if (outcome.exit_code != 0 && !outcome.partial) {
         std::cerr << "error: bench_" << spec.bench << " exited with code " << outcome.exit_code
                   << "; see " << (out_dir / (spec.bench + ".txt")).string() << "\n";
         return kExitBenchFailed;
@@ -330,9 +345,16 @@ int main(int argc, char** argv) {
     outcome.records_path = jsonl.string();
 
     report::BenchRun run;
-    if (!report::parse_run_file(jsonl.string(), &run, &error)) {
+    report::RunFileOptions read_options;
+    read_options.tolerate_truncated_tail = true;
+    if (!report::parse_run_file(jsonl.string(), &run, &error, read_options)) {
       std::cerr << "error: schema: " << error << "\n";
       return kExitSchema;
+    }
+    if (!run.truncation_note.empty()) {
+      outcome.partial = true;
+      std::cout << "note: " << jsonl.string() << ": " << run.truncation_note
+                << " — treating the run as partial\n";
     }
     if (run.bench != spec.bench) {
       std::cerr << "error: schema: " << jsonl.string() << " holds records of bench '"
@@ -345,10 +367,17 @@ int main(int argc, char** argv) {
   }
 
   // --- golden gate ---
-  const bool gating = !cli.has("no-gate") && !quantities_overridden;
+  bool any_partial = false;
+  for (const report::BenchOutcome& outcome : outcomes) any_partial |= outcome.partial;
+  const bool gating = !cli.has("no-gate") && !quantities_overridden && !any_partial;
   if (!gating && !cli.has("no-gate")) {
-    std::cout << "note: --k/--samples overrides change the measured quantities; "
-                 "golden gating disabled for this run\n";
+    if (any_partial) {
+      std::cout << "note: partial run (run control / truncated records); "
+                   "golden gating disabled — rerun to completion (or --resume) to gate\n";
+    } else {
+      std::cout << "note: --k/--samples overrides change the measured quantities; "
+                   "golden gating disabled for this run\n";
+    }
   }
   std::vector<report::Comparison> comparisons;
   if (gating) comparisons = report::compare_preset(golden, preset, runs);
