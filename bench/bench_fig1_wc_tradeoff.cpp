@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   SweepConfig sweep = bench::sweep_config(cli);
   const int threads = cli.get_int("threads", 1);
   bench::RunControl rc(cli);
-  lp::SimplexOptions opts;
+  lp::SimplexOptions opts = bench::solver_options(cli);
   rc.apply(sweep, opts);
   bench::JsonOutput jout(cli, "fig1_wc_tradeoff",
                          obs::Json::object()
@@ -40,6 +40,8 @@ int main(int argc, char** argv) {
                              .set("points", points)
                              .set("warm_start", sweep.warm_start)
                              .set("chains", sweep.chains)
+                             .set("dual", opts.dual)
+                             .set("flow_crash", opts.flow_crash)
                              .set("threads", threads));
   bench::TraceOutput trace(cli);
 

@@ -13,6 +13,7 @@
 
 #include "tcr/core/arc_flow.hpp"
 #include "tcr/lin/sparse_lu.hpp"
+#include "tcr/lp/maxflow.hpp"
 #include "tcr/matching/hungarian.hpp"
 #include "tcr/metrics/loads.hpp"
 #include "tcr/metrics/worst_case.hpp"
@@ -223,6 +224,49 @@ void BM_CapacityLPTraced(benchmark::State& state) {
   trace::Tracer::instance().clear();
 }
 BENCHMARK(BM_CapacityLPTraced)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// Dual-simplex rhs-edit restart: one warm sweep step — move the locality
+// bound, re-solve from the previous optimal basis. The warm basis stays
+// dual-feasible across a pure rhs edit, so the solve runs the lp.dual
+// reoptimization (a handful of pivots) instead of a cold phase-1/phase-2
+// pass; compare against BM_CapacityLP for the cold-solve cost.
+void BM_DualRestart(benchmark::State& state) {
+  const Torus t(static_cast<int>(state.range(0)));
+  const double hmin = t.mean_min_distance();
+  SymmetricDesignConfig cfg;
+  cfg.objective = DesignObjective::WorstCase;
+  cfg.locality_equals = 1.3 * hmin;
+  cfg.locality_le = true;
+  SymmetricArcDesign design(t, cfg);
+  DesignResult res = design.solve();
+  double next = 1.5;
+  for (auto _ : state) {
+    design.set_locality_bound(next * hmin);
+    res = design.solve({}, &res.basis);
+    next = next == 1.5 ? 1.3 : 1.5;  // every solve sees a real rhs change
+    benchmark::DoNotOptimize(res.objective);
+  }
+}
+BENCHMARK(BM_DualRestart)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// Flow-crash path routing: the Dinic pass flow_crash_hints() runs per
+// representative commodity — route one unit 0 -> e over the torus channel
+// graph and peel the path. Pure combinatorial kernel, no LP.
+void BM_DinicCrashPath(benchmark::State& state) {
+  const Torus t(static_cast<int>(state.range(0)));
+  const int n = t.num_nodes(), nc = t.num_channels();
+  for (auto _ : state) {
+    std::size_t total_arcs = 0;
+    for (int e = 1; e < n; ++e) {
+      lp::MaxFlow mf(n);
+      for (int c = 0; c < nc; ++c) mf.add_arc(t.channel_src(c), t.channel_dst(c), 1.0);
+      mf.solve(0, e, 1.0);
+      total_arcs += mf.decompose_paths(0, e).front().size();
+    }
+    benchmark::DoNotOptimize(total_arcs);
+  }
+}
+BENCHMARK(BM_DinicCrashPath)->Arg(4)->Arg(8);
 
 void BM_SimulatorCycles(benchmark::State& state) {
   const Torus t(4);

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "tcr/graph/symmetry.hpp"
+#include "tcr/lp/maxflow.hpp"
 #include "tcr/obs/registry.hpp"
 #include "tcr/trace/tracer.hpp"
 #include "tcr/util/check.hpp"
@@ -28,6 +29,9 @@ struct DesignMetrics {
   obs::Gauge& flow_vars_unfolded =
       obs::Registry::instance().gauge("core.design.flow_vars_unfolded");
   obs::Gauge& last_objective = obs::Registry::instance().gauge("core.design.last_objective");
+  // Rows covered by the flow crash basis (flow_crash_hints()): how much of
+  // the model starts on combinatorial columns instead of slacks/artificials.
+  obs::Gauge& crash_hints = obs::Registry::instance().gauge("core.design.crash_hints");
   // Objective trajectory across the solves of a pipeline stage (lexicographic
   // stages, cutting-plane rounds, tradeoff sweeps): the snapshot reports
   // count/min/max/percentiles of all objectives seen since the last reset.
@@ -132,6 +136,7 @@ void SymmetricArcDesign::build_orbits() {
 
 void SymmetricArcDesign::add_flow_conservation() {
   const int n = torus_.num_nodes();
+  cons_row_base_ = model_.num_rows();
   for (int e : rep_commodities_) {
     for (int nd = 0; nd < n; ++nd) {
       const double rhs = (nd == e) ? 1.0 : (nd == 0 ? -1.0 : 0.0);
@@ -163,6 +168,7 @@ void SymmetricArcDesign::add_worst_case_block() {
     TCR_REQUIRE(!config_.cut_permutations.empty(),
                 "cut-based worst case needs at least one permutation");
     const int c0 = torus_.channel(0, Dir::PX);
+    first_cut_row_ = model_.num_rows();
     for (const auto& perm : config_.cut_permutations) {
       const int row = model_.add_row(RowType::LE, 0.0);
       for (int s = 0; s < n; ++s) {
@@ -187,6 +193,7 @@ void SymmetricArcDesign::add_worst_case_block() {
       u[s] = (s == 0) ? model_.add_col(0.0, 0.0, 0.0) : model_.add_col(-lp::kInf, lp::kInf, 0.0);
     for (int d = 0; d < n; ++d) v[d] = model_.add_col(-lp::kInf, lp::kInf, 0.0);
 
+    wc_block_row_base_.push_back(model_.num_rows());
     for (int s = 0; s < n; ++s) {
       // Channel whose canonical load equals the load of (s, *) on c0.
       const int ct = torus_.translate_channel(c0, torus_.negate_node(s));
@@ -202,6 +209,9 @@ void SymmetricArcDesign::add_worst_case_block() {
     for (int d = 0; d < n; ++d) model_.add_term(sum_row, v[d], 1.0);
     for (int s = 0; s < n; ++s) model_.add_term(sum_row, u[s], -1.0);
     model_.add_term(sum_row, wc_var_, -1.0);  // b_c = 1
+    wc_sum_rows_.push_back(sum_row);
+    wc_u_cols_.push_back(u);
+    wc_v_cols_.push_back(v);
   }
 }
 
@@ -214,6 +224,7 @@ void SymmetricArcDesign::add_uniform_block() {
   const int num_blocks = config_.fold_dihedral ? 1 : kNumDirs;
   for (int dir = 0; dir < num_blocks; ++dir) {
     const int row = model_.add_row(RowType::LE, 0.0);
+    uni_rows_.push_back(row);
     for (int v = 0; v < num_flow_vars_; ++v) {
       if (dir_count_[v][dir] != 0.0) model_.add_term(row, v, dir_count_[v][dir]);
     }
@@ -236,6 +247,7 @@ void SymmetricArcDesign::add_average_block() {
   for (std::size_t i = 0; i < config_.samples.size(); ++i) {
     const auto& perm = config_.samples[i];
     TCR_REQUIRE(static_cast<int>(perm.size()) == n, "sample permutation size mismatch");
+    avg_row_base_.push_back(model_.num_rows());
     for (int c = 0; c < nc; ++c) {
       const int row = model_.add_row(RowType::LE, 0.0);
       for (int s = 0; s < n; ++s) {
@@ -271,6 +283,59 @@ void SymmetricArcDesign::set_locality_bound(double locality_equals) {
   model_.set_rhs(locality_row_, locality_equals * torus_.num_nodes());
 }
 
+const lp::CrashHints& SymmetricArcDesign::flow_crash_hints() {
+  if (crash_hints_built_) return crash_hints_;
+  crash_hints_built_ = true;
+  auto& hints = crash_hints_.basic_of_row;
+  hints.assign(static_cast<std::size_t>(model_.num_rows()), -1);
+  std::vector<char> used(static_cast<std::size_t>(model_.num_cols()), 0);
+  auto take = [&](int row, int col) {
+    if (col < 0 || used[static_cast<std::size_t>(col)]) return;
+    hints[static_cast<std::size_t>(row)] = col;
+    used[static_cast<std::size_t>(col)] = 1;
+  };
+
+  // Conservation rows: route each representative commodity along one
+  // shortest 0 -> e path (Dinic, unit flow limit) and nominate the path's
+  // flow variables as basic in the rows of the nodes the arcs enter. The
+  // dihedral fold can map two path arcs (of this or an earlier commodity)
+  // to the same variable; `used` keeps the first nomination and leaves the
+  // later row on its crash column.
+  const int n = torus_.num_nodes(), nc = torus_.num_channels();
+  for (std::size_t r = 0; r < rep_commodities_.size(); ++r) {
+    const int e = rep_commodities_[r];
+    lp::MaxFlow mf(n);
+    for (int c = 0; c < nc; ++c) {
+      mf.add_arc(torus_.channel_src(c), torus_.channel_dst(c), 1.0);
+    }
+    if (mf.solve(0, e, 1.0) <= 0.0) continue;
+    const auto paths = mf.decompose_paths(0, e);
+    if (paths.empty()) continue;
+    for (const int arc : paths.front()) {
+      const int c = arc / 2;  // arcs were added in channel order
+      take(cons_row_base_ + static_cast<int>(r) * n + torus_.channel_dst(c), flow_var(e, c));
+    }
+  }
+
+  // Worst-case exact blocks: the free dual potentials want to be basic —
+  // v_d in its first row (s = 0), u_s in its first row (d = 0; u_0 is fixed
+  // at zero and stays nonbasic) — and w replaces the sum row's artificial.
+  for (std::size_t b = 0; b < wc_block_row_base_.size(); ++b) {
+    const int base = wc_block_row_base_[b];
+    for (int d = 0; d < n; ++d) take(base + d, wc_v_cols_[b][d]);
+    for (int s = 1; s < n; ++s) take(base + s * n, wc_u_cols_[b][s]);
+    take(wc_sum_rows_[b], wc_var_);
+  }
+  if (first_cut_row_ >= 0) take(first_cut_row_, wc_var_);
+  for (const int row : uni_rows_) take(row, uni_var_);
+  for (std::size_t i = 0; i < avg_row_base_.size(); ++i) take(avg_row_base_[i], avg_vars_[i]);
+
+  int covered = 0;
+  for (const int col : hints) covered += (col >= 0);
+  DesignMetrics::get().crash_hints.set(covered);
+  return crash_hints_;
+}
+
 DesignResult SymmetricArcDesign::solve(const lp::SimplexOptions& opts,
                                        const lp::Basis* warm) {
   auto& met = DesignMetrics::get();
@@ -281,22 +346,26 @@ DesignResult SymmetricArcDesign::solve(const lp::SimplexOptions& opts,
     t.attr("rows", model_.num_rows());
     t.attr("cols", model_.num_cols());
     t.attr("nnz", static_cast<std::int64_t>(model_.num_terms()));
+    const lp::CrashHints* crash = opts.flow_crash ? &flow_crash_hints() : nullptr;
     if (warm != nullptr && !warm->empty() && locality_row_ >= 0) {
       // The only row a sweep edits between solves is the locality bound;
-      // annotating it lets the warm-start repair aim its reentry pivot at
-      // that row's slack instead of searching for the moved constraint.
+      // annotating it lets the warm-start logic target that row: the dual
+      // phase reprices it directly instead of rediscovering the moved
+      // constraint via a cold repair.
       lp::Basis hinted = *warm;
       hinted.edited_rows.assign(1, locality_row_);
-      sol = lp::solve(model_, opts, &hinted);
+      sol = lp::solve(model_, opts, &hinted, crash);
     } else {
-      sol = lp::solve(model_, opts, warm);
+      sol = lp::solve(model_, opts, warm, crash);
     }
     t.attr("status", lp::to_string(sol.status));
     t.attr("warm_start", sol.warm_start);
+    t.attr("dual_iterations", static_cast<std::int64_t>(sol.dual_iterations));
   }
   DesignResult res;
   res.status = sol.status;
   res.iterations = sol.iterations;
+  res.dual_iterations = sol.dual_iterations;
   res.note = sol.note;
   res.certificate = sol.certificate;
   res.basis = std::move(sol.basis);

@@ -72,6 +72,7 @@ struct DesignResult {
   double objective = 0.0;   // optimal value of the configured objective
   double avg_hops = 0.0;    // H_avg of the designed routing, in hops
   long iterations = 0;
+  long dual_iterations = 0;  // dual-phase share of `iterations` (rhs-edit restarts)
   std::string note;         // solver stop diagnosis when not Optimal
   lp::Certificate certificate;  // independent KKT check of the design LP
   /// Final simplex basis (exported on every outcome); feed it back into
@@ -100,6 +101,16 @@ class SymmetricArcDesign {
   /// through localities against one constraint matrix, warm-starting each
   /// point from the previous basis.
   void set_locality_bound(double locality_equals);
+
+  /// Combinatorial crash basis for cold solves: a Dinic max-flow pass
+  /// (lp/maxflow.hpp) routes one shortest 0 -> e path per representative
+  /// commodity and nominates the path's flow variables as initial basic
+  /// columns for their conservation rows; the dual-potential and load-bound
+  /// columns of the side blocks are nominated for one row each. The hints
+  /// depend only on the constraint structure, never on right-hand sides, so
+  /// they are computed once and cached. solve() passes them to lp::solve
+  /// automatically when opts.flow_crash is set (the default).
+  const lp::CrashHints& flow_crash_hints();
 
   /// Decomposed routing from the last successful solve.
   TorusRouting routing(const std::string& name) const;
@@ -133,6 +144,20 @@ class SymmetricArcDesign {
   int locality_row_ = -1;  // row index of the locality constraint, if any
   std::vector<int> avg_vars_;  // per-sample max-load variables
   std::vector<double> solution_flows_;  // (N-1) * C flow values after solve
+
+  // Row/column bookkeeping for flow_crash_hints(). Conservation rows start
+  // at cons_row_base_ and run commodity-major ((rep index) * N + node); the
+  // worst-case exact blocks record their (s, d)-grid base row, sum row and
+  // potential columns; uniform/average rows are recorded directly.
+  int cons_row_base_ = 0;
+  std::vector<int> wc_block_row_base_;
+  std::vector<int> wc_sum_rows_;
+  std::vector<std::vector<int>> wc_u_cols_, wc_v_cols_;
+  int first_cut_row_ = -1;
+  std::vector<int> uni_rows_;
+  std::vector<int> avg_row_base_;  // first row of each sample's block
+  lp::CrashHints crash_hints_;
+  bool crash_hints_built_ = false;
 };
 
 /// Decompose one commodity's channel flows into weighted 0->e paths

@@ -178,6 +178,7 @@ std::vector<TradeoffPoint> sweep(const Torus& torus, DesignObjective objective,
       point_span.attr("warm_start", res.warm_start);
       point_span.attr("capacity_fraction", out[i].capacity_fraction);
       point_span.attr("iterations", static_cast<std::int64_t>(res.iterations));
+      point_span.attr("dual_iterations", static_cast<std::int64_t>(res.dual_iterations));
       if (sweep_cfg.warm_start) warm = std::move(res.basis);
     }
   };

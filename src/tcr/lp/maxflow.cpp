@@ -1,0 +1,155 @@
+#include "tcr/lp/maxflow.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "tcr/util/check.hpp"
+
+namespace tcr::lp {
+
+namespace {
+constexpr double kInfFlow = std::numeric_limits<double>::infinity();
+}  // namespace
+
+MaxFlow::MaxFlow(int num_nodes) : head_(static_cast<std::size_t>(num_nodes)) {
+  TCR_REQUIRE(num_nodes > 0, "max-flow graph needs at least one node");
+}
+
+int MaxFlow::add_arc(int from, int to, double cap) {
+  TCR_REQUIRE(from >= 0 && from < num_nodes() && to >= 0 && to < num_nodes(),
+              "max-flow arc endpoint out of range");
+  TCR_REQUIRE(cap >= 0.0, "max-flow arc capacity must be nonnegative");
+  const int id = static_cast<int>(arcs_.size());
+  arcs_.push_back({to, cap});
+  arcs_.push_back({from, 0.0});
+  head_[static_cast<std::size_t>(from)].push_back(id);
+  head_[static_cast<std::size_t>(to)].push_back(id + 1);
+  return id;
+}
+
+bool MaxFlow::bfs_levels(int s, int t) {
+  level_.assign(head_.size(), -1);
+  std::deque<int> queue;
+  level_[static_cast<std::size_t>(s)] = 0;
+  queue.push_back(s);
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop_front();
+    for (const int k : head_[static_cast<std::size_t>(u)]) {
+      const Arc& a = arcs_[static_cast<std::size_t>(k)];
+      if (a.residual <= 0.0 || level_[static_cast<std::size_t>(a.to)] >= 0) continue;
+      level_[static_cast<std::size_t>(a.to)] = level_[static_cast<std::size_t>(u)] + 1;
+      queue.push_back(a.to);
+    }
+  }
+  return level_[static_cast<std::size_t>(t)] >= 0;
+}
+
+double MaxFlow::dfs_augment(int u, int t, double limit) {
+  if (u == t || limit <= 0.0) return limit;
+  for (int& c = cursor_[static_cast<std::size_t>(u)];
+       c < static_cast<int>(head_[static_cast<std::size_t>(u)].size()); ++c) {
+    const int k = head_[static_cast<std::size_t>(u)][static_cast<std::size_t>(c)];
+    Arc& a = arcs_[static_cast<std::size_t>(k)];
+    if (a.residual <= 0.0 ||
+        level_[static_cast<std::size_t>(a.to)] != level_[static_cast<std::size_t>(u)] + 1) {
+      continue;
+    }
+    const double pushed = dfs_augment(a.to, t, std::min(limit, a.residual));
+    if (pushed > 0.0) {
+      a.residual -= pushed;
+      arcs_[static_cast<std::size_t>(k ^ 1)].residual += pushed;
+      return pushed;
+    }
+  }
+  return 0.0;
+}
+
+double MaxFlow::solve(int s, int t, double limit) {
+  TCR_REQUIRE(s >= 0 && s < num_nodes() && t >= 0 && t < num_nodes(),
+              "max-flow terminal out of range");
+  if (s == t || limit <= 0.0) return 0.0;
+  double total = 0.0;
+  while (total < limit && bfs_levels(s, t)) {
+    cursor_.assign(head_.size(), 0);
+    for (;;) {
+      const double pushed = dfs_augment(s, t, limit - total);
+      if (pushed <= 0.0) break;
+      total += pushed;
+      if (total >= limit) break;
+    }
+  }
+  return total;
+}
+
+double MaxFlow::solve(int s, int t) { return solve(s, t, kInfFlow); }
+
+double MaxFlow::flow_on(int arc) const {
+  TCR_REQUIRE(arc >= 0 && arc + 1 < static_cast<int>(arcs_.size()) && (arc & 1) == 0,
+              "flow_on wants a forward arc id from add_arc");
+  // The paired reverse arc accumulates exactly the flow pushed forward.
+  return arcs_[static_cast<std::size_t>(arc + 1)].residual;
+}
+
+std::vector<std::vector<int>> MaxFlow::decompose_paths(int s, int t, double eps) const {
+  // Scratch flow per forward arc.
+  std::vector<double> flow(static_cast<std::size_t>(num_arcs()));
+  for (int a = 0; a < num_arcs(); ++a) flow[static_cast<std::size_t>(a)] = flow_on(2 * a);
+
+  std::vector<std::vector<int>> paths;
+  std::vector<int> mark(head_.size(), -1);  // walk id a node was last seen in
+  for (int walk = 0;; ++walk) {
+    // Follow positive-flow arcs from s, peeling the bottleneck. A node seen
+    // twice in one walk closes a flow cycle: cancel the cycle's flow and
+    // retry (cycles carry no s->t value).
+    std::vector<int> path;  // forward arc ids
+    int u = s;
+    mark[static_cast<std::size_t>(u)] = walk;
+    bool cycle = false;
+    while (u != t) {
+      int next_arc = -1;
+      for (const int k : head_[static_cast<std::size_t>(u)]) {
+        if ((k & 1) != 0) continue;  // reverse arcs never carry flow here
+        if (flow[static_cast<std::size_t>(k / 2)] > eps) {
+          next_arc = k;
+          break;
+        }
+      }
+      if (next_arc < 0) break;  // flow conservation ran dry (u == s: done)
+      path.push_back(next_arc);
+      u = arcs_[static_cast<std::size_t>(next_arc)].to;
+      if (mark[static_cast<std::size_t>(u)] == walk) {
+        cycle = true;
+        break;
+      }
+      mark[static_cast<std::size_t>(u)] = walk;
+    }
+    if (cycle) {
+      // Trim the tail that closes at u, zero the cycle's bottleneck.
+      std::size_t start = 0;
+      while (start < path.size() &&
+             arcs_[static_cast<std::size_t>(path[start] ^ 1)].to != u) {
+        ++start;
+      }
+      double bottleneck = kInfFlow;
+      for (std::size_t i = start; i < path.size(); ++i) {
+        bottleneck = std::min(bottleneck, flow[static_cast<std::size_t>(path[i] / 2)]);
+      }
+      for (std::size_t i = start; i < path.size(); ++i) {
+        flow[static_cast<std::size_t>(path[i] / 2)] -= bottleneck;
+      }
+      continue;  // same walk budget: cycle flow strictly decreased
+    }
+    if (u != t || path.empty()) break;  // no s->t flow left
+    double bottleneck = kInfFlow;
+    for (const int k : path) {
+      bottleneck = std::min(bottleneck, flow[static_cast<std::size_t>(k / 2)]);
+    }
+    for (const int k : path) flow[static_cast<std::size_t>(k / 2)] -= bottleneck;
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+}  // namespace tcr::lp

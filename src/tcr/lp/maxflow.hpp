@@ -1,0 +1,62 @@
+// Dinic max-flow on a directed graph with real-valued capacities.
+//
+// The combinatorial companion of the LP layer: a cheap flow pass over the
+// routing arc graph brackets what the LP will decide and seeds its crash
+// basis (see CrashHints in lp/model.hpp and the flow crash construction in
+// core/arc_flow.cpp). Classic Dinic — BFS level graph, then DFS blocking
+// flow with per-node arc cursors — which is exact for the small, shallow
+// graphs the designs build (a few thousand nodes, unit-ish capacities) and
+// deterministic: arcs are explored in insertion order, so the same graph
+// always yields the same flow and the same path decomposition.
+#pragma once
+
+#include <vector>
+
+namespace tcr::lp {
+
+class MaxFlow {
+ public:
+  explicit MaxFlow(int num_nodes);
+
+  /// Add a directed arc `from -> to` with capacity `cap` (>= 0). Returns an
+  /// arc id usable with flow_on() after solve(). Parallel arcs and self
+  /// loops are allowed (a self loop never carries flow).
+  int add_arc(int from, int to, double cap);
+
+  /// Run Dinic from `s` to `t`, stopping once `limit` units are routed
+  /// (pass 1.0 to extract a single shortest augmenting path on a unit-ish
+  /// graph). Returns the total flow routed, <= limit. Callable repeatedly:
+  /// flow accumulates on the residual graph, so solve(s, t, 1) twice routes
+  /// two units along successively longer paths.
+  double solve(int s, int t, double limit);
+  double solve(int s, int t);
+
+  /// Flow currently carried by an arc (0 before solve()).
+  double flow_on(int arc) const;
+
+  int num_nodes() const { return static_cast<int>(head_.size()); }
+  int num_arcs() const { return static_cast<int>(arcs_.size()) / 2; }
+
+  /// Decompose the current flow into s -> t paths (each a list of arc ids in
+  /// order), greedily peeling the bottleneck path until less than `eps` flow
+  /// leaves s. Flow cycles (possible after residual cancellation) are
+  /// detected and cancelled, not returned. The decomposition consumes a
+  /// scratch copy; the arcs' flow_on() values are unchanged.
+  std::vector<std::vector<int>> decompose_paths(int s, int t, double eps = 1e-12) const;
+
+ private:
+  struct Arc {
+    int to;
+    double residual;  // remaining capacity; the paired arc holds the flow
+  };
+
+  bool bfs_levels(int s, int t);
+  double dfs_augment(int u, int t, double limit);
+
+  std::vector<Arc> arcs_;               // paired: arc k's reverse is k ^ 1
+  std::vector<std::vector<int>> head_;  // per node, arc ids out of it
+  std::vector<int> level_;
+  std::vector<int> cursor_;  // per-node DFS arc cursor (blocking flow)
+};
+
+}  // namespace tcr::lp

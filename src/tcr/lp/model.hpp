@@ -91,6 +91,23 @@ struct Basis {
   bool empty() const { return basic.empty(); }
 };
 
+/// Combinatorial crash-basis hints for a *cold* solve: per model row, the
+/// index of a structural column to seed basic in that row's position instead
+/// of the row's slack/artificial crash column (-1 keeps the crash column).
+/// Callers that understand the model's combinatorial structure (e.g. a
+/// max-flow pass over the arc graph, core/arc_flow.cpp) build these once per
+/// model; lp::solve() turns them into a candidate basis and routes it through
+/// the same validation/repair machinery as a warm basis, counted separately
+/// under the lp.crash.* obs counters. Hints are advisory: an inconsistent or
+/// singular hint set degrades to the all-slack crash, never to a failure.
+struct CrashHints {
+  /// Size num_rows; basic_of_row[r] = structural column to make basic at row
+  /// r's position, or -1. Out-of-range and duplicate columns are ignored.
+  std::vector<int> basic_of_row;
+
+  bool empty() const { return basic_of_row.empty(); }
+};
+
 struct Solution {
   Status status = Status::Numerical;
   double objective = 0.0;
@@ -99,6 +116,11 @@ struct Solution {
   std::vector<double> reduced;  // reduced costs of structural variables
   long iterations = 0;          // simplex iterations of the returned attempt
   long phase1_iterations = 0;
+  /// Iterations spent in the dual simplex phase (SimplexOptions::dual): a
+  /// warm basis left dual-feasible but primal-infeasible by an rhs edit is
+  /// driven back to optimality by dual pivots instead of reentry + phase 1.
+  /// 0 when the dual phase did not run. Included in `iterations`.
+  long dual_iterations = 0;
   /// Human-readable diagnosis of why a non-optimal solve stopped (e.g.
   /// "iteration limit after 312 degenerate pivots"). Empty when Optimal,
   /// unless the recovery ladder ran out with a failing certificate — then it

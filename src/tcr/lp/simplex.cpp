@@ -46,11 +46,36 @@ struct SimplexMetrics {
   // adopted basis was primal-feasible on a model that would otherwise have
   // needed phase 1; a repaired basis whose leftover load sits on basic
   // artificials still runs phase 1, warm, and is not counted there.
+  obs::Counter& warm_attempts = obs::Registry::instance().counter("lp.warmstart.attempts");
   obs::Counter& warm_accepted = obs::Registry::instance().counter("lp.warmstart.accepted");
   obs::Counter& warm_repaired = obs::Registry::instance().counter("lp.warmstart.repaired");
   obs::Counter& warm_rejected = obs::Registry::instance().counter("lp.warmstart.rejected");
   obs::Counter& warm_phase1_skipped =
       obs::Registry::instance().counter("lp.warmstart.phase1_skipped");
+  // Crash-hint adoption (CrashHints on a cold solve) mirrors the warm-start
+  // counters under a separate prefix so the two channels stay attributable:
+  // attempts == accepted + repaired + rejected holds independently for each.
+  obs::Counter& crash_attempts = obs::Registry::instance().counter("lp.crash.attempts");
+  obs::Counter& crash_accepted = obs::Registry::instance().counter("lp.crash.accepted");
+  obs::Counter& crash_repaired = obs::Registry::instance().counter("lp.crash.repaired");
+  obs::Counter& crash_rejected = obs::Registry::instance().counter("lp.crash.rejected");
+  obs::Counter& crash_phase1_skipped =
+      obs::Registry::instance().counter("lp.crash.phase1_skipped");
+  // Dual simplex phase. solves = bases routed into the dual phase;
+  // reoptimized = dual iterations reached primal feasibility (the solve then
+  // finishes with a clean primal confirmation); fallbacks = the dual phase
+  // gave up (dual-unbounded => primal infeasible, stall, or numerical
+  // trouble) and the solve restarted cold through the primal ladder;
+  // infeasible_bases = candidate bases that failed the dual-feasibility
+  // screen and took the primal path directly.
+  obs::Counter& dual_solves = obs::Registry::instance().counter("lp.dual.solves");
+  obs::Counter& dual_iterations = obs::Registry::instance().counter("lp.dual.iterations");
+  obs::Counter& dual_reoptimized = obs::Registry::instance().counter("lp.dual.reoptimized");
+  obs::Counter& dual_fallbacks = obs::Registry::instance().counter("lp.dual.fallbacks");
+  obs::Counter& dual_bound_flips =
+      obs::Registry::instance().counter("lp.dual.bound_flips");
+  obs::Counter& dual_infeasible_bases =
+      obs::Registry::instance().counter("lp.dual.infeasible_bases");
   // Eta-file length at each refactorization and LU factor fill-in (nonzeros).
   obs::Histogram& eta_length =
       obs::Registry::instance().histogram("lp.simplex.eta_length", 1.0, 2.0);
@@ -63,6 +88,7 @@ struct SimplexMetrics {
   obs::Timer& t_total = obs::Registry::instance().timer("lp.simplex.time.total");
   obs::Timer& t_phase1 = obs::Registry::instance().timer("lp.simplex.time.phase1");
   obs::Timer& t_phase2 = obs::Registry::instance().timer("lp.simplex.time.phase2");
+  obs::Timer& t_dual = obs::Registry::instance().timer("lp.simplex.time.dual");
   obs::Timer& t_pricing = obs::Registry::instance().timer("lp.simplex.time.pricing");
   obs::Timer& t_ratio_test = obs::Registry::instance().timer("lp.simplex.time.ratio_test");
   obs::Timer& t_ftran = obs::Registry::instance().timer("lp.simplex.time.ftran");
@@ -110,10 +136,12 @@ struct Eta {
 
 class RevisedSimplex {
  public:
-  RevisedSimplex(StandardForm sf, const SimplexOptions& opt, const Basis* warm = nullptr)
+  RevisedSimplex(StandardForm sf, const SimplexOptions& opt, const Basis* warm = nullptr,
+                 const CrashHints* crash = nullptr)
       : sf_(std::move(sf)),
         opt_(opt),
         warm_(warm),
+        crash_(crash),
         m_(sf_.m),
         n_(sf_.ntotal),
         a_(sf_.m, sf_.ntotal, sf_.triplets),
@@ -136,6 +164,7 @@ class RevisedSimplex {
     span.attr("status", to_string(sol.status));
     span.attr("iterations", sol.iterations);
     span.attr("warm_start", sol.warm_start);
+    span.attr("dual_iterations", sol.dual_iterations);
     return sol;
   }
 
@@ -152,17 +181,97 @@ class RevisedSimplex {
     }
     WarmAdopt warm = WarmAdopt::kRejected;
     if (warm_ != nullptr && !warm_->empty()) warm = apply_warm(*warm_);
+    if (warm == WarmAdopt::kRejected && opt_.flow_crash && crash_ != nullptr &&
+        !crash_->empty()) {
+      // Cold start with combinatorial crash hints: synthesize a basis from
+      // them and push it through the same adoption machinery as a warm basis
+      // (separate lp.crash.* accounting; never routed to the dual phase).
+      const Basis cb = crash_basis_from_hints(*crash_);
+      if (!cb.empty()) {
+        adopting_crash_ = true;
+        warm = apply_warm(cb);
+        adopting_crash_ = false;
+      }
+    }
     if (warm == WarmAdopt::kRejected && !refactorize()) {
       sol.status = Status::Numerical;
       finish(sol);
       return sol;
     }
 
-    if (sf_.need_phase1) {
+    // ---- dual simplex phase ----
+    // A warm basis that survived adoption dual-feasible but whose point an
+    // rhs edit left primal-infeasible (kDual) is driven back to optimality
+    // by dual pivots: pin the artificials — the dual phase solves the true
+    // phase-2 problem — and iterate. Success skips phase 1 and the perturbed
+    // primal pass outright; failure (dual-unbounded, stall, or numerical
+    // alarm) unwinds to the cold primal ladder below.
+    bool dual_done = false;
+    if (warm == WarmAdopt::kDual) {
+      met_.dual_solves.add(1);
+      for (int j = 0; j < n_; ++j)
+        if (sf_.artificial[j]) sf_.up[j] = 0.0;
+      // The MCF models are massively dual degenerate: swaths of nonbasic
+      // columns sit at reduced cost zero, so unperturbed dual ratio tests
+      // collapse into zero-length pivots and the phase stalls. Run the dual
+      // pivots on the same deterministic tiny perturbation phase 2 uses —
+      // the entering ratios become decisive — and let the clean true-cost
+      // primal pass below absorb the O(1e-9) dual wobble it introduces.
+      std::vector<double> dcost = sf_.cost;
+      if (opt_.perturb) {
+        for (int j = 0; j < n_; ++j) {
+          if (!std::isfinite(sf_.lo[j]) && !std::isfinite(sf_.up[j])) continue;
+          dcost[j] += 1e-9 * (1.0 + std::abs(dcost[j])) * (0.5 + rng_.uniform());
+        }
+      }
+      Status sd;
+      {
+        trace::Span t("lp.dual", met_.t_dual);
+        sd = optimize_dual(dcost);
+        t.attr("status", to_string(sd));
+        t.attr("iterations", dual_iters_);
+      }
+      sol.dual_iterations = dual_iters_;
+      met_.dual_iterations.add(dual_iters_);
+      if (sd == Status::Cancelled || sd == Status::IterationLimit) {
+        // The whole-run budget fired mid-phase: the warm basis was genuinely
+        // used, so its staged adoption outcome stands.
+        commit_adoption(pending_patched_ ? kOutcomeRepaired : kOutcomeAccepted);
+        sol.status = sd;
+        sol.iterations = iters_;
+        finish(sol);
+        return sol;
+      }
+      if (sd == Status::Optimal) {
+        met_.dual_reoptimized.add(1);
+        commit_adoption(pending_patched_ ? kOutcomeRepaired : kOutcomeAccepted);
+        if (sf_.need_phase1) met_.warm_phase1_skipped.add(1);
+        dual_done = true;
+      } else {
+        // Fall back: abandon the basis (the attempt counts as rejected),
+        // restore the crash start and unpin the artificials so phase 1 sees
+        // its own framework again.
+        met_.dual_fallbacks.add(1);
+        commit_adoption(kOutcomeRejected);
+        warm = WarmAdopt::kRejected;
+        for (int j = 0; j < n_; ++j)
+          if (sf_.artificial[j]) sf_.up[j] = kInf;
+        restore_crash_basis();
+        if (!refactorize()) {
+          sol.status = Status::Numerical;
+          sol.iterations = iters_;
+          finish(sol);
+          return sol;
+        }
+      }
+    }
+
+    if (!dual_done && sf_.need_phase1) {
       if (warm == WarmAdopt::kFeasible) {
         // The adopted basis represents a primal-feasible point, so phase 1
         // has nothing left to do: go straight to optimizing the true costs.
-        met_.warm_phase1_skipped.add(1);
+        (adopted_via_crash_ ? met_.crash_phase1_skipped : met_.warm_phase1_skipped)
+            .add(1);
       } else {
         // Cold crash basis, or a repaired warm basis whose residual
         // infeasibility sits entirely on basic artificials (kPhase1): either
@@ -198,7 +307,11 @@ class RevisedSimplex {
     Status s2;
     {
       trace::Span t("lp.phase2", met_.t_phase2);
-      if (opt_.perturb) {
+      // After a successful dual phase the basis is already primal-feasible
+      // and dual-feasible to tolerance; a single clean pass confirms
+      // optimality. The anti-degeneracy perturbation would only pivot away
+      // from the answer and back.
+      if (opt_.perturb && !dual_done) {
         // Deterministic tiny perturbation breaks massive dual degeneracy in
         // the MCF models; a clean pass with the true costs follows.
         std::vector<double> pcost = sf_.cost;
@@ -233,6 +346,7 @@ class RevisedSimplex {
   // Final per-solve bookkeeping: registry counters, the exported basis, and
   // the human-readable stop note for non-optimal outcomes.
   void finish(Solution& sol) {
+    charge_pending_iterations();
     met_.iterations.add(iters_);
     sol.basis.stat.assign(stat_.begin(), stat_.end());
     sol.basis.basic = basic_;
@@ -294,9 +408,96 @@ class RevisedSimplex {
   // represents a primal-feasible point, so phase 1 can be skipped. kPhase1:
   // the basis is factorized and every basic variable respects its phase-1
   // bounds, but some basic artificial carries load — phase 1 must run, from
-  // this basis rather than the crash basis. kRejected: the crash basis was
-  // restored and the caller cold-starts.
-  enum class WarmAdopt { kRejected, kFeasible, kPhase1 };
+  // this basis rather than the crash basis. kDual: the basis is factorized,
+  // dual-feasible, and primal-infeasible — the rhs-edit sweep case — so the
+  // dual simplex phase re-optimizes it (its adoption outcome stays staged
+  // until the dual verdict is in). kRejected: the crash basis was restored
+  // and the caller cold-starts.
+  enum class WarmAdopt { kRejected, kFeasible, kPhase1, kDual };
+
+  // Exactly-one-outcome bookkeeping for a basis adoption attempt, warm basis
+  // or crash hints (lp.{warmstart,crash}.attempts == accepted + repaired +
+  // rejected, asserted by the property tests). begin_adoption() opens an
+  // attempt; every path out of adoption calls commit_adoption() exactly
+  // once. The dual route defers: apply_warm() stages patched-or-not in
+  // pending_patched_ and run_impl() commits after the dual phase decides
+  // whether the basis was kept.
+  enum Outcome { kOutcomeAccepted, kOutcomeRepaired, kOutcomeRejected };
+
+  void begin_adoption() {
+    (adopting_crash_ ? met_.crash_attempts : met_.warm_attempts).add(1);
+  }
+
+  void commit_adoption(Outcome o) {
+    if (adopting_crash_) {
+      (o == kOutcomeRejected   ? met_.crash_rejected
+       : o == kOutcomeRepaired ? met_.crash_repaired
+                               : met_.crash_accepted)
+          .add(1);
+      if (o != kOutcomeRejected) {
+        adopted_via_crash_ = true;
+        warm_outcome_ = o == kOutcomeRepaired ? "crash-repaired" : "crash-accepted";
+      }
+      // A rejected crash basis leaves warm_outcome_ alone: the solve either
+      // stays "cold" or keeps the warm basis's earlier "rejected".
+    } else {
+      (o == kOutcomeRejected   ? met_.warm_rejected
+       : o == kOutcomeRepaired ? met_.warm_repaired
+                               : met_.warm_accepted)
+          .add(1);
+      warm_outcome_ = o == kOutcomeRejected   ? "rejected"
+                      : o == kOutcomeRepaired ? "repaired"
+                                              : "accepted";
+    }
+  }
+
+  // Dual-feasibility screen for a freshly adopted basis: are the phase-2
+  // reduced costs sign-feasible? Artificial columns are skipped — the dual
+  // phase pins them to [0, 0], where any reduced cost is feasible — as are
+  // fixed columns. The tolerance is loose (10x opt_tol): the dual ratio test
+  // absorbs mildly wrong signs by taking their slightly negative ratio
+  // first, and the final clean primal pass re-checks optimality exactly.
+  bool dual_feasible() {
+    std::vector<double> cb(static_cast<std::size_t>(m_)), y;
+    for (int i = 0; i < m_; ++i) cb[i] = sf_.cost[basic_[i]];
+    btran(std::move(cb), y);
+    const double tol = 10.0 * opt_.opt_tol;
+    for (int j = 0; j < n_; ++j) {
+      if (stat_[j] == kBasic || sf_.artificial[j] || sf_.lo[j] == sf_.up[j]) continue;
+      const double d = sf_.cost[j] - a_.column_dot(j, y);
+      if (stat_[j] == kAtLower) {
+        if (d < -tol) return false;
+      } else if (stat_[j] == kAtUpper) {
+        if (d > tol) return false;
+      } else if (std::abs(d) > tol) {  // free: reduced cost must vanish
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Build a candidate basis from combinatorial crash hints: row r's basic
+  // column becomes hints.basic_of_row[r] when that is a usable structural
+  // column (in range, not fixed, not claimed by an earlier row), the row's
+  // crash aux column otherwise. The result goes through apply_warm() like
+  // any supplied basis, so inconsistent or singular hints degrade to the
+  // all-slack crash instead of failing the solve.
+  Basis crash_basis_from_hints(const CrashHints& hints) const {
+    Basis b;
+    if (static_cast<int>(hints.basic_of_row.size()) != m_) return b;
+    b.stat.assign(sf_.stat0.begin(), sf_.stat0.end());
+    b.basic = sf_.basis0;
+    std::vector<char> used(static_cast<std::size_t>(n_), 0);
+    for (int r = 0; r < m_; ++r) {
+      const int c = hints.basic_of_row[r];
+      if (c < 0 || c >= sf_.nstruct || used[c] || sf_.lo[c] == sf_.up[c]) continue;
+      used[c] = 1;
+      b.stat[b.basic[r]] = static_cast<std::uint8_t>(default_nonbasic(b.basic[r]));
+      b.basic[r] = c;
+      b.stat[c] = static_cast<std::uint8_t>(kBasic);
+    }
+    return b;
+  }
 
   // Install a caller-supplied basis, repairing what can be repaired:
   // out-of-range statuses are re-derived, singular positions and
@@ -307,10 +508,10 @@ class RevisedSimplex {
   // hands that delta to the row's slack or artificial instead, which keeps
   // the rest of the basis and leaves at most a short phase 1.
   WarmAdopt apply_warm(const Basis& warm) {
+    begin_adoption();
     if (static_cast<int>(warm.basic.size()) != m_ ||
         static_cast<int>(warm.stat.size()) != n_) {
-      met_.warm_rejected.add(1);
-      warm_outcome_ = "rejected";
+      commit_adoption(kOutcomeRejected);
       return WarmAdopt::kRejected;
     }
     bool patched = false;
@@ -350,8 +551,7 @@ class RevisedSimplex {
     for (int i = 0; i < m_; ++i) {
       const int b = warm.basic[i];
       if (b < 0 || b >= n_ || pos[b] != -1) {
-        met_.warm_rejected.add(1);
-        warm_outcome_ = "rejected";
+        commit_adoption(kOutcomeRejected);
         return WarmAdopt::kRejected;
       }
       pos[b] = i;
@@ -399,18 +599,24 @@ class RevisedSimplex {
       }
       if (!repairable || !refactorize()) {
         restore_crash_basis();
-        met_.warm_rejected.add(1);
-        warm_outcome_ = "rejected";
+        commit_adoption(kOutcomeRejected);
         return WarmAdopt::kRejected;
       }
     }
 
     // Caller hint: rows whose rhs changed since the basis was exported.
-    // Their aux columns are the first reentry candidates (out-of-range
-    // entries from a stale or hand-built basis are dropped here).
+    // Their aux columns are the first reentry candidates. The list is
+    // bounds-checked (a stale or hand-built basis can carry rows past m_)
+    // and deduplicated in caller order: a sweep that edits the same row
+    // twice must not make reentry_pivot try — and possibly commit — the
+    // same aux column twice.
     std::vector<int> hint_rows;
+    std::vector<char> hinted_row(static_cast<std::size_t>(m_), 0);
     for (const int r : warm.edited_rows) {
-      if (r >= 0 && r < m_) hint_rows.push_back(r);
+      if (r >= 0 && r < m_ && !hinted_row[r]) {
+        hinted_row[r] = 1;
+        hint_rows.push_back(r);
+      }
     }
 
     // Primal-feasibility check with repair. Each round classifies the basic
@@ -440,10 +646,25 @@ class RevisedSimplex {
           bad.push_back(i);
         }
       }
+      if (bad.empty() && !artificial_load) {
+        commit_adoption(patched ? kOutcomeRepaired : kOutcomeAccepted);
+        return WarmAdopt::kFeasible;
+      }
+      // Dual screen, once, before any primal repair: a basis the rhs edit
+      // (flagged via edited_rows) left primal-infeasible — out-of-bound
+      // basics or artificial load — but dual-feasible goes to the dual
+      // phase instead of the reentry-pivot + phase-1 ladder. Its adoption
+      // outcome stays staged until the dual verdict is in.
+      if (round == 0 && opt_.dual && !adopting_crash_ && !hint_rows.empty()) {
+        if (dual_feasible()) {
+          pending_patched_ = patched;
+          return WarmAdopt::kDual;
+        }
+        met_.dual_infeasible_bases.add(1);
+      }
       if (bad.empty()) {
-        (patched ? met_.warm_repaired : met_.warm_accepted).add(1);
-        warm_outcome_ = patched ? "repaired" : "accepted";
-        return artificial_load ? WarmAdopt::kPhase1 : WarmAdopt::kFeasible;
+        commit_adoption(patched ? kOutcomeRepaired : kOutcomeAccepted);
+        return WarmAdopt::kPhase1;
       }
       patched = true;
       if (reentry_pivot(bad, hint_rows)) continue;
@@ -457,8 +678,7 @@ class RevisedSimplex {
       if (!repairable || !refactorize()) break;
     }
     restore_crash_basis();
-    met_.warm_rejected.add(1);
-    warm_outcome_ = "rejected";
+    commit_adoption(kOutcomeRejected);
     return WarmAdopt::kRejected;
   }
 
@@ -622,6 +842,29 @@ class RevisedSimplex {
     return false;
   }
 
+  // ---- run-control accounting -----------------------------------------
+
+  // Safepoint: every 16 iterations, charge the iterations run since the
+  // last charge against the token's cumulative budget and poll
+  // deadline/RSS/signal (one predicted branch per iteration when no token
+  // is armed). Charging the delta instead of a fixed window keeps the
+  // account exact across phase boundaries and iteration-count rewinds.
+  bool cancel_safepoint() {
+    if (opt_.cancel == nullptr || (iters_ & 15) != 0) return false;
+    charge_pending_iterations();
+    return opt_.cancel->check();
+  }
+
+  // Flush the partial charge window. Called from every solve exit path (via
+  // finish()) so a solve that stops mid-window — Cancelled, IterationLimit,
+  // Numerical, even Optimal — still charges the remainder; without this,
+  // budgeted sweeps could overrun their iteration cap by up to 15 x points.
+  void charge_pending_iterations() {
+    if (opt_.cancel == nullptr || iters_ <= charged_iters_) return;
+    opt_.cancel->charge_iterations(iters_ - charged_iters_);
+    charged_iters_ = iters_;
+  }
+
   // ---- basis linear algebra -------------------------------------------
 
   bool refactorize() {
@@ -756,15 +999,10 @@ class RevisedSimplex {
         return Status::IterationLimit;
       }
 
-      // Run-control safepoint: batch-charge the token's cumulative
-      // iteration budget and poll deadline/RSS/signal every 16 iterations
-      // (one predicted branch per iteration when no token is armed).
-      if (opt_.cancel != nullptr && (iters_ & 15) == 0) {
-        opt_.cancel->charge_iterations(16);
-        if (opt_.cancel->check()) {
-          flush_degenerate_run();
-          return Status::Cancelled;
-        }
+      // Run-control safepoint (see cancel_safepoint()).
+      if (cancel_safepoint()) {
+        flush_degenerate_run();
+        return Status::Cancelled;
       }
 
       {
@@ -1015,6 +1253,280 @@ class RevisedSimplex {
     }
   }
 
+  // ---- dual simplex phase ---------------------------------------------
+  //
+  // Re-optimizes a dual-feasible basis whose point is primal-infeasible —
+  // the parametric-sweep case, where one rhs edit moved the basic values but
+  // left every reduced cost intact. Per iteration: price the most violated
+  // basic out (DEVEX-style weights per row), btran its unit vector for the
+  // pivot row, run the bound-flipping dual ratio test over the nonbasic
+  // columns, flip the boxed columns the dual step walks through (batched
+  // into one ftran), and pivot the blocking column in, sharing the eta file
+  // and refactorization cadence with the primal loop. Returns:
+  //   Optimal        — no basic violates its bound (primal feasible, so the
+  //                    still-dual-feasible basis is optimal to tolerance);
+  //   Unbounded      — some violated row admits no entering column even
+  //                    after flipping everything: the dual is unbounded,
+  //                    i.e. the primal is infeasible (caller falls back to
+  //                    the primal ladder for the authoritative verdict);
+  //   Numerical      — factorization alarm or pivot stall (caller falls
+  //                    back);
+  //   IterationLimit / Cancelled — shared run-control limits (final).
+  Status optimize_dual(const std::vector<double>& cost) {
+    std::vector<double> cb(static_cast<std::size_t>(m_));
+    std::vector<double> y, w, rho, flip_sum;
+    std::vector<double> er(static_cast<std::size_t>(m_), 0.0);
+    int since_refactor = 0;
+    bool fresh_basis = true;  // no pivots since the last refactorization
+    int degenerate_streak = 0;
+    const bool timed = obs::Registry::instance().timing_enabled();
+    // Dual DEVEX row weights (reference framework = the rows at entry).
+    dw_.assign(static_cast<std::size_t>(m_), 1.0);
+    // Stall guard: a dual phase that has not reached primal feasibility
+    // after this many pivots is not the cheap sweep repair it exists for;
+    // hand the basis back to the primal ladder instead of grinding on.
+    const long stall_cap = 4L * m_ + 1000;
+
+    // Dual ratio-test candidate: signed pivot-row coefficient abar =
+    // s * (a_j . rho) and ratio d_j / abar (>= 0 up to tolerance when the
+    // basis is dual-feasible).
+    struct Cand {
+      int col;
+      double ratio;
+      double abar;
+      double range;  // up - lo (inf when unboxed)
+    };
+    std::vector<Cand> cands;
+
+    for (;;) {
+      if (++iters_ > max_iters_) return Status::IterationLimit;
+      ++dual_iters_;
+      if (cancel_safepoint()) return Status::Cancelled;
+      if (dual_iters_ > stall_cap) return Status::Numerical;
+
+      {
+        obs::ScopedTimer t(met_.t_btran, timed);
+        for (int i = 0; i < m_; ++i) cb[i] = cost[basic_[i]];
+        btran(cb, y);
+      }
+
+      // ---- leaving-row pricing (largest weighted bound violation) ----
+      const bool bland = degenerate_streak >= opt_.bland_after;
+      obs::ScopedTimer pricing_timer(met_.t_pricing, timed);
+      int leave = -1;
+      bool below = false;  // which bound the leaving basic violates
+      double best_score = 0.0;
+      for (int i = 0; i < m_; ++i) {
+        const int j = basic_[i];
+        double viol;
+        bool b;
+        if (std::isfinite(sf_.lo[j]) && xb_[i] < sf_.lo[j] - opt_.feas_tol) {
+          viol = sf_.lo[j] - xb_[i];
+          b = true;
+        } else if (std::isfinite(sf_.up[j]) && xb_[i] > sf_.up[j] + opt_.feas_tol) {
+          viol = xb_[i] - sf_.up[j];
+          b = false;
+        } else {
+          continue;
+        }
+        if (bland) {  // anti-cycling: smallest violated position
+          leave = i;
+          below = b;
+          break;
+        }
+        const double score = viol * viol / dw_[i];
+        if (score > best_score) {
+          best_score = score;
+          leave = i;
+          below = b;
+        }
+      }
+      pricing_timer.stop();
+
+      if (leave < 0) {
+        // Primal feasible. Confirm against a freshly factorized basis, as
+        // the primal loop does before declaring optimality.
+        if (!fresh_basis) {
+          if (!refactorize()) return Status::Numerical;
+          since_refactor = 0;
+          fresh_basis = true;
+          --iters_;
+          --dual_iters_;
+          continue;
+        }
+        return Status::Optimal;
+      }
+
+      // ---- pivot row: rho = B^-T e_leave ----
+      {
+        obs::ScopedTimer t(met_.t_btran, timed);
+        std::fill(er.begin(), er.end(), 0.0);
+        er[leave] = 1.0;
+        btran(er, rho);
+      }
+
+      // ---- bound-flipping dual ratio test ----
+      // s = +1 when the leaving basic sits above its upper bound, -1 when
+      // below its lower bound. Candidates keep dual feasibility along the
+      // step: at-lower columns with abar > 0, at-upper with abar < 0, free
+      // columns with either sign. Walking candidates by increasing ratio, a
+      // boxed candidate whose full range absorbs less than the remaining
+      // primal violation is bound-flipped and the step pushes past it; the
+      // first candidate that covers the rest enters the basis.
+      obs::ScopedTimer ratio_timer(met_.t_ratio_test, timed);
+      const int lj = basic_[leave];
+      const double s = below ? -1.0 : 1.0;
+      double remain = below ? sf_.lo[lj] - xb_[leave] : xb_[leave] - sf_.up[lj];
+      cands.clear();
+      for (int j = 0; j < n_; ++j) {
+        if (stat_[j] == kBasic || sf_.lo[j] == sf_.up[j]) continue;
+        // One pass over the column yields both the pivot-row coefficient
+        // and the reduced cost.
+        double alpha = 0.0, d = cost[j];
+        for (std::size_t k = a_.col_begin(j); k < a_.col_end(j); ++k) {
+          alpha += a_.value(k) * rho[a_.row_index(k)];
+          d -= a_.value(k) * y[a_.row_index(k)];
+        }
+        const double abar = s * alpha;
+        if (std::abs(abar) <= 1e-9) continue;
+        if (stat_[j] == kAtLower ? abar <= 0.0
+            : stat_[j] == kAtUpper ? abar >= 0.0
+                                   : false) {
+          continue;
+        }
+        cands.push_back({j, d / abar, abar, sf_.up[j] - sf_.lo[j]});
+      }
+      std::sort(cands.begin(), cands.end(), [](const Cand& x, const Cand& z) {
+        if (x.ratio != z.ratio) return x.ratio < z.ratio;
+        return x.col < z.col;  // deterministic (and Bland-style) tie-break
+      });
+
+      int enter_idx = -1;
+      double absorb = 0.0;  // violation absorbed by flips so far
+      for (int c = 0; c < static_cast<int>(cands.size()); ++c) {
+        const Cand& cd = cands[c];
+        if (!std::isfinite(cd.range) ||
+            remain - absorb - std::abs(cd.abar) * cd.range <= opt_.feas_tol) {
+          enter_idx = c;
+          break;
+        }
+        absorb += std::abs(cd.abar) * cd.range;
+      }
+      ratio_timer.stop();
+
+      if (enter_idx < 0) {
+        // No entering column covers the violation (possibly after flipping
+        // every boxed candidate): the dual is unbounded, the primal
+        // infeasible. Trust the verdict only from a fresh factorization.
+        if (!fresh_basis) {
+          if (!refactorize()) return Status::Numerical;
+          since_refactor = 0;
+          fresh_basis = true;
+          --iters_;
+          --dual_iters_;
+          continue;
+        }
+        return Status::Unbounded;
+      }
+
+      // ---- apply the bound flips (batched into one ftran) ----
+      if (enter_idx > 0) {
+        flip_sum.assign(static_cast<std::size_t>(m_), 0.0);
+        for (int c = 0; c < enter_idx; ++c) {
+          const int fj = cands[c].col;
+          const double delta = stat_[fj] == kAtLower ? cands[c].range : -cands[c].range;
+          stat_[fj] = stat_[fj] == kAtLower ? kAtUpper : kAtLower;
+          a_.add_column_to(fj, delta, flip_sum);
+        }
+        met_.dual_bound_flips.add(enter_idx);
+        {
+          obs::ScopedTimer t(met_.t_ftran, timed);
+          ftran(flip_sum, w);
+        }
+        for (int i = 0; i < m_; ++i) xb_[i] -= w[i];
+      }
+
+      const Cand& ec = cands[enter_idx];
+      const int q = ec.col;
+
+      // ---- FTRAN of the entering column ----
+      {
+        obs::ScopedTimer t(met_.t_ftran, timed);
+        col_buf_.assign(m_, 0.0);
+        a_.add_column_to(q, 1.0, col_buf_);
+        ftran(col_buf_, w);
+      }
+      const double piv = w[leave];
+      if (std::abs(piv) < 1e-9 ||
+          std::abs(piv - ec.abar * s) > 1e-6 * (1.0 + std::abs(piv))) {
+        // The btran row and ftran column disagree on the pivot: the eta
+        // file has drifted. Refactorize and redo the iteration (committed
+        // bound flips stand; the next round reprices from fresh values).
+        if (!refactorize()) return Status::Numerical;
+        since_refactor = 0;
+        fresh_basis = true;
+        --iters_;
+        --dual_iters_;
+        continue;
+      }
+
+      if (std::abs(ec.ratio) <= 1e-10) {
+        ++degenerate_streak;
+        ++degenerate_total_;
+        met_.degenerate_pivots.add(1);
+      } else {
+        degenerate_streak = 0;
+      }
+
+      // ---- primal update: leaving basic lands on its violated bound ----
+      const double target = below ? sf_.lo[lj] : sf_.up[lj];
+      const double t_p = (xb_[leave] - target) / piv;
+      const double enter_val = nonbasic_value(q) + t_p;
+      for (int i = 0; i < m_; ++i) xb_[i] -= t_p * w[i];
+
+      // ---- dual DEVEX row-weight update (reuses the ftran column) ----
+      const double piv2 = piv * piv;
+      const double dw_r = dw_[leave];
+      for (int i = 0; i < m_; ++i) {
+        if (i == leave || w[i] == 0.0) continue;
+        const double cand_w = (w[i] * w[i] / piv2) * dw_r;
+        if (cand_w > dw_[i]) dw_[i] = cand_w;
+      }
+      dw_[leave] = std::max(dw_r / piv2, 1.0);
+      if (dw_r > 1e7) dw_.assign(static_cast<std::size_t>(m_), 1.0);
+
+      stat_[lj] = below ? kAtLower : kAtUpper;
+      pos_of_col_[lj] = -1;
+      basic_[leave] = q;
+      pos_of_col_[q] = leave;
+      stat_[q] = kBasic;
+      xb_[leave] = enter_val;
+
+      // Numerical alarm: tiny pivot in the transformed column.
+      if (std::abs(piv) < 1e-7) {
+        if (!refactorize()) return Status::Numerical;
+        since_refactor = 0;
+        fresh_basis = true;
+        continue;
+      }
+      fresh_basis = false;
+
+      Eta eta;
+      eta.pos = leave;
+      eta.pivot = piv;
+      for (int i = 0; i < m_; ++i) {
+        if (i != leave && w[i] != 0.0) eta.entries.emplace_back(i, w[i]);
+      }
+      etas_.push_back(std::move(eta));
+
+      if (++since_refactor >= opt_.refactor_every) {
+        if (!refactorize()) return Status::Numerical;
+        since_refactor = 0;
+        fresh_basis = true;
+      }
+    }
+  }
+
   void extract(Solution& sol) {
     // One clean refactorization for final values.
     refactorize();
@@ -1052,11 +1564,17 @@ class RevisedSimplex {
   StandardForm sf_;
   SimplexOptions opt_;
   const Basis* warm_ = nullptr;
+  const CrashHints* crash_ = nullptr;
   int m_, n_;
   SparseMatrix a_;
   Rng rng_;
   long max_iters_ = 0;
   long iters_ = 0;
+  long dual_iters_ = 0;     // iterations inside optimize_dual()
+  long charged_iters_ = 0;  // iterations already charged to the cancel token
+  bool adopting_crash_ = false;    // apply_warm() is consuming crash hints
+  bool adopted_via_crash_ = false; // a crash-hint basis was adopted
+  bool pending_patched_ = false;   // staged outcome for the deferred dual commit
 
   SimplexMetrics& met_ = SimplexMetrics::get();
   long degenerate_total_ = 0;
@@ -1071,6 +1589,7 @@ class RevisedSimplex {
   std::vector<int> pos_of_col_;
   std::vector<double> xb_;
   std::vector<double> devex_;
+  std::vector<double> dw_;  // dual DEVEX row weights (optimize_dual)
   SparseLU lu_;
   std::vector<Eta> etas_;
   std::vector<double> col_buf_;
@@ -1078,15 +1597,19 @@ class RevisedSimplex {
 
 }  // namespace
 
-Solution solve(const Model& model, const SimplexOptions& options, const Basis* warm) {
+Solution solve(const Model& model, const SimplexOptions& options, const Basis* warm,
+               const CrashHints* crash) {
   TCR_REQUIRE(model.num_cols() > 0, "model has no variables");
 
   const CertifyOptions cert_opts = CertifyOptions::from_solver_tols(
       options.feas_tol, options.opt_tol, options.certify_tol_factor);
 
-  auto run_attempt = [](const Model& mdl, const SimplexOptions& o, const Basis* w) {
+  // Crash hints ride along to every sparse attempt (they only kick in when
+  // no warm basis is adopted); the dense fallback stays hint-free — its
+  // value is independence from the revised solver's machinery.
+  auto run_attempt = [crash](const Model& mdl, const SimplexOptions& o, const Basis* w) {
     auto sf = detail::build_standard_form(mdl);
-    RevisedSimplex simplex(std::move(sf), o, w);
+    RevisedSimplex simplex(std::move(sf), o, w, crash);
     return simplex.run();
   };
 

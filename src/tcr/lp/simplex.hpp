@@ -32,6 +32,21 @@ struct SimplexOptions {
   std::uint64_t seed = 0x5eedULL;
   int bland_after = 3000;  // consecutive degenerate pivots before Bland mode
 
+  // ---- dual simplex ----
+  /// Re-optimize a warm basis with the dual simplex when it comes back
+  /// dual-feasible but primal-infeasible — the parametric-sweep case, where
+  /// an rhs edit moves the basic values but leaves every reduced cost
+  /// untouched. The dual phase shares the eta/refactorization machinery with
+  /// the primal loop and falls back to the primal reentry-pivot + phase-1
+  /// ladder when the basis is dual-infeasible or the dual iteration stalls
+  /// (lp.dual.* obs counters). Off: every warm basis takes the primal path.
+  bool dual = true;
+
+  /// Adopt caller-supplied CrashHints (flow-based crash basis) on cold
+  /// solves. Off: hints passed to solve() are ignored and the all-slack
+  /// crash is used. Callers also gate hint *construction* on this flag.
+  bool flow_crash = true;
+
   // ---- certification ----
   /// Run lp::certify() on every Optimal solve and store the result in
   /// Solution::certificate. A failing certificate is treated like a
@@ -77,11 +92,18 @@ struct SimplexOptions {
 /// validated against the model's standard form: a dimension-mismatched or
 /// inconsistent basis is rejected (cold start), a singular one is repaired
 /// by patching the unpivotable positions back to the crash basis, and a
-/// basis whose point is primal-feasible skips phase 1 entirely. Outcomes are
-/// counted in the lp.warmstart.{accepted,repaired,rejected,phase1_skipped}
-/// obs counters. The reseed/equilibrate/careful recovery stages restart from
-/// the failed attempt's exported basis rather than from scratch.
+/// basis whose point is primal-feasible skips phase 1 entirely, and a basis
+/// that is dual-feasible but primal-infeasible is re-optimized by the dual
+/// simplex when options.dual is set. Every adoption attempt increments
+/// exactly one of the lp.warmstart.{accepted,repaired,rejected} obs counters
+/// (lp.warmstart.attempts counts them all). The reseed/equilibrate/careful
+/// recovery stages restart from the failed attempt's exported basis rather
+/// than from scratch.
+///
+/// `crash` optionally supplies combinatorial crash-basis hints used when no
+/// warm basis is adopted (cold start) and options.flow_crash is set; they go
+/// through the same validation/repair machinery, counted under lp.crash.*.
 Solution solve(const Model& model, const SimplexOptions& options = {},
-               const Basis* warm = nullptr);
+               const Basis* warm = nullptr, const CrashHints* crash = nullptr);
 
 }  // namespace tcr::lp

@@ -3,8 +3,13 @@
 // optimal designs against the known cap/2 bound, and flow decomposition.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
 #include "tcr/core/design.hpp"
 #include "tcr/core/tradeoff.hpp"
+#include "tcr/obs/registry.hpp"
 #include "tcr/metrics/loads.hpp"
 #include "tcr/metrics/worst_case.hpp"
 #include "tcr/routing/dor.hpp"
@@ -175,6 +180,105 @@ TEST(FlowDecomposition, RecoversPathsAndDiscardsCycles) {
   ASSERT_EQ(paths.size(), 1u);
   EXPECT_NEAR(paths[0].weight, 1.0, 1e-12);
   EXPECT_EQ(paths[0].path.length(), 3);
+}
+
+// The Dinic-based crash hints must be well-formed (right size, in-range
+// columns, no duplicates), substantial (the flow pass covers at least the
+// conservation rows of one shortest path per commodity), rhs-independent,
+// and cached across calls.
+TEST(FlowCrash, HintsAreWellFormedAndCached) {
+  const Torus t(4);
+  SymmetricDesignConfig cfg;
+  cfg.objective = DesignObjective::WorstCase;
+  SymmetricArcDesign design(t, cfg);
+  const lp::CrashHints& hints = design.flow_crash_hints();
+  const lp::Model& m = design.model();
+  ASSERT_EQ(static_cast<int>(hints.basic_of_row.size()), m.num_rows());
+
+  std::vector<char> seen(static_cast<std::size_t>(m.num_cols()), 0);
+  int covered = 0;
+  for (const int col : hints.basic_of_row) {
+    if (col < 0) continue;
+    ASSERT_LT(col, m.num_cols());
+    EXPECT_FALSE(seen[static_cast<std::size_t>(col)]) << "duplicate column " << col;
+    seen[static_cast<std::size_t>(col)] = 1;
+    ++covered;
+  }
+  // Each representative commodity contributes min_dist(0, e) conservation
+  // nominations; the side blocks add more. A loose floor guards against the
+  // pass silently nominating nothing.
+  int floor = 0;
+  for (int e = 1; e < t.num_nodes(); ++e) floor += t.min_dist(0, e);
+  EXPECT_GE(covered, floor / 2);
+
+  // Cached: the second call must hand back the same object and data.
+  const lp::CrashHints& again = design.flow_crash_hints();
+  EXPECT_EQ(&again, &hints);
+  EXPECT_EQ(again.basic_of_row, hints.basic_of_row);
+}
+
+// Crash hints are an iteration optimization, never a semantic switch: the
+// optimum with flow_crash on and off must match, and the lp.crash.* channel
+// must balance (attempts == accepted + repaired + rejected) while leaving
+// lp.warmstart.* untouched on cold solves.
+TEST(FlowCrash, ColdSolveMatchesWithAndWithoutHints) {
+  auto counter = [](const char* name) {
+    return obs::Registry::instance().counter(name).value();
+  };
+  const Torus t(4);
+  SymmetricDesignConfig cfg;
+  cfg.objective = DesignObjective::WorstCase;
+  cfg.locality_equals = 1.4 * t.mean_min_distance();
+  cfg.locality_le = true;
+
+  const std::int64_t warm_before = counter("lp.warmstart.attempts");
+  const std::int64_t attempts_before = counter("lp.crash.attempts");
+  SymmetricArcDesign with(t, cfg);
+  lp::SimplexOptions opts;
+  opts.flow_crash = true;
+  const DesignResult on = with.solve(opts);
+  ASSERT_EQ(on.status, lp::Status::Optimal);
+  EXPECT_EQ(counter("lp.crash.attempts") - attempts_before, 1);
+  EXPECT_EQ(counter("lp.crash.attempts"),
+            counter("lp.crash.accepted") + counter("lp.crash.repaired") +
+                counter("lp.crash.rejected"));
+  EXPECT_EQ(counter("lp.warmstart.attempts"), warm_before)
+      << "crash adoption must not leak into the warm-start channel";
+
+  SymmetricArcDesign without(t, cfg);
+  opts.flow_crash = false;
+  const DesignResult off = without.solve(opts);
+  ASSERT_EQ(off.status, lp::Status::Optimal);
+  EXPECT_NEAR(on.objective, off.objective, 1e-9 * (1 + std::abs(off.objective)));
+}
+
+// Garbage hints handed straight to lp::solve must degrade through the
+// repair/reject ladder and still land on the certified cold optimum.
+TEST(FlowCrash, GarbageHintsNeverChangeTheAnswer) {
+  const Torus t(3);
+  SymmetricDesignConfig cfg;
+  cfg.objective = DesignObjective::WorstCase;
+  SymmetricArcDesign design(t, cfg);
+  const lp::Model& m = design.model();
+  lp::SimplexOptions opts;
+  const lp::Solution cold = lp::solve(m, opts);
+  ASSERT_EQ(cold.status, lp::Status::Optimal);
+
+  lp::CrashHints junk;
+  // Wrong size, out-of-range and duplicate columns all at once.
+  junk.basic_of_row.assign(static_cast<std::size_t>(m.num_rows()), 0);
+  junk.basic_of_row[0] = m.num_cols() + 17;
+  if (m.num_rows() > 2) junk.basic_of_row[2] = -9;
+  const lp::Solution sol = lp::solve(m, opts, nullptr, &junk);
+  ASSERT_EQ(sol.status, lp::Status::Optimal);
+  EXPECT_NEAR(sol.objective, cold.objective, 1e-9 * (1 + std::abs(cold.objective)));
+  EXPECT_TRUE(sol.certificate.ok()) << sol.certificate.summary();
+
+  lp::CrashHints short_hints;  // wrong length: must be ignored or rejected
+  short_hints.basic_of_row = {0, 1};
+  const lp::Solution sol2 = lp::solve(m, opts, nullptr, &short_hints);
+  ASSERT_EQ(sol2.status, lp::Status::Optimal);
+  EXPECT_NEAR(sol2.objective, cold.objective, 1e-9 * (1 + std::abs(cold.objective)));
 }
 
 TEST(FlowDecomposition, SplitsParallelFlows) {

@@ -86,6 +86,40 @@ TEST(CancelToken, IterationBudgetFires) {
   EXPECT_NE(token.note().find("iteration budget"), std::string::npos) << token.note();
 }
 
+TEST(CancelToken, PartialIterationWindowIsFlushedOnOptimalExit) {
+  // The simplex charges the token at 16-iteration safepoints; a solve that
+  // exits Optimal mid-window must flush the remainder in finish(). With a
+  // cap of 1 the flush itself latches the token, so (a) iterations_used()
+  // equals the solve's exact pivot count, not a multiple of 16, and (b) the
+  // next solve against the same token is refused up front.
+  lp::Model m;
+  m.add_col(0.0, lp::kInf, -1.0);
+  m.add_col(0.0, lp::kInf, -2.0);
+  const int r0 = m.add_row(lp::RowType::LE, 4.0);
+  m.add_term(r0, 0, 1.0);
+  m.add_term(r0, 1, 1.0);
+  const int r1 = m.add_row(lp::RowType::LE, 3.0);
+  m.add_term(r1, 1, 1.0);
+
+  RunBudget budget;
+  budget.max_iterations = 1;
+  CancelToken token(budget);
+  lp::SimplexOptions opts;
+  opts.cancel = &token;
+  const lp::Solution sol = lp::solve(m, opts);
+  ASSERT_EQ(sol.status, lp::Status::Optimal);
+  ASSERT_GT(sol.iterations, 0);
+  ASSERT_LT(sol.iterations, 16) << "model too big to exit inside one charge window";
+  EXPECT_EQ(token.iterations_used(), sol.iterations);
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), StopReason::Iterations);
+
+  const lp::Solution refused = lp::solve(m, opts);
+  EXPECT_EQ(refused.status, lp::Status::Cancelled);
+  EXPECT_EQ(token.iterations_used(), sol.iterations)
+      << "a refused solve must not charge iterations";
+}
+
 TEST(CancelToken, MemoryCapFires) {
   RunBudget budget;
   budget.max_rss_kb = 1;  // any live process exceeds 1 KB peak RSS
@@ -512,13 +546,14 @@ TEST(SweepResumeTest, BudgetCutJournalThenResumeReproducesBitwise) {
   }
 
   // Budgeted run, cut deterministically inside point 1: the solver charges
-  // the token 16 iterations per safepoint window (iters_ & 15 == 0), so a
-  // solve's cumulative charge never exceeds its true iteration count —
-  // point 0 always fits in `it0 + 16` — while point 1, provided it runs
-  // long enough to hit a few windows (the ASSERT below; warm-started tail
-  // points can be near-free and never charge), must blow the remainder
-  // mid-solve. Completed points are journaled, the rest labeled degraded.
-  ASSERT_GE(ref[1].iterations, 48) << "point 1 too cheap to guarantee an in-solve cut";
+  // the token at every 16-iteration safepoint and flushes the partial
+  // window on solve exit, so point 0 charges exactly `it0` and fits the
+  // budget, while point 1 reaches its first safepoint with the budget
+  // already down to 16 and must blow it mid-solve — provided it runs past
+  // one full window (the ASSERT below; warm-started tail points can be
+  // near-free and finish before any safepoint). Completed points are
+  // journaled, the rest labeled degraded.
+  ASSERT_GE(ref[1].iterations, 17) << "point 1 too cheap to guarantee an in-solve cut";
   CancelToken token;
   RunBudget budget;
   budget.max_iterations = ref[0].iterations + 16;

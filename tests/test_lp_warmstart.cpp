@@ -62,19 +62,41 @@ Model random_model(Rng& rng, int rows, int cols) {
 }
 
 struct WarmCounters {
-  std::int64_t accepted, repaired, rejected, phase1_skipped;
+  std::int64_t attempts, accepted, repaired, rejected, phase1_skipped;
   static WarmCounters snap() {
     auto& reg = obs::Registry::instance();
-    return {reg.counter("lp.warmstart.accepted").value(),
+    return {reg.counter("lp.warmstart.attempts").value(),
+            reg.counter("lp.warmstart.accepted").value(),
             reg.counter("lp.warmstart.repaired").value(),
             reg.counter("lp.warmstart.rejected").value(),
             reg.counter("lp.warmstart.phase1_skipped").value()};
   }
   WarmCounters delta_since(const WarmCounters& base) const {
-    return {accepted - base.accepted, repaired - base.repaired, rejected - base.rejected,
-            phase1_skipped - base.phase1_skipped};
+    return {attempts - base.attempts, accepted - base.accepted, repaired - base.repaired,
+            rejected - base.rejected, phase1_skipped - base.phase1_skipped};
   }
   std::int64_t adopted() const { return accepted + repaired; }
+  /// The accounting invariant: every adoption attempt commits exactly one
+  /// outcome, so over any window attempts == accepted + repaired + rejected.
+  void expect_balanced(const char* what) const {
+    EXPECT_EQ(attempts, accepted + repaired + rejected) << what;
+  }
+};
+
+struct DualCounters {
+  std::int64_t solves, iterations, reoptimized, fallbacks, infeasible_bases;
+  static DualCounters snap() {
+    auto& reg = obs::Registry::instance();
+    return {reg.counter("lp.dual.solves").value(), reg.counter("lp.dual.iterations").value(),
+            reg.counter("lp.dual.reoptimized").value(),
+            reg.counter("lp.dual.fallbacks").value(),
+            reg.counter("lp.dual.infeasible_bases").value()};
+  }
+  DualCounters delta_since(const DualCounters& base) const {
+    return {solves - base.solves, iterations - base.iterations,
+            reoptimized - base.reoptimized, fallbacks - base.fallbacks,
+            infeasible_bases - base.infeasible_bases};
+  }
 };
 
 // Warm and cold must agree on status; on Optimal, objectives must match and
@@ -296,6 +318,244 @@ TEST(WarmStart, UnsolvablePointIsNaNAndChainSurvives) {
     ASSERT_TRUE(pts[i].solved()) << "point " << i << ": " << pts[i].note;
     EXPECT_TRUE(pts[i].certificate.pass) << pts[i].certificate.summary();
     EXPECT_FALSE(std::isnan(pts[i].capacity_fraction));
+  }
+}
+
+// The accounting invariant across a mixed population of adoption paths:
+// pristine optimal bases (accepted), rhs-edited bases (dual reoptimization
+// or repair), and assorted garbage (rejected). Every lp::solve with a warm
+// basis must bump attempts exactly once and commit exactly one outcome.
+TEST(WarmStart, AttemptsAlwaysEqualCommittedOutcomes) {
+  Rng rng(2024);
+  SimplexOptions opt;
+  const WarmCounters start = WarmCounters::snap();
+  int solves = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    opt.seed = 700 + trial;
+    Model m = random_model(rng, 3 + static_cast<int>(rng.below(8)),
+                           3 + static_cast<int>(rng.below(10)));
+    const Solution cold = solve(m, opt);
+    if (cold.status != Status::Optimal) continue;
+
+    Basis warm = cold.basis;
+    const double r = rng.uniform();
+    const char* what = "pristine";
+    if (r < 0.35) {
+      // rhs edit + hint: the dual-reoptimization path.
+      const int row = static_cast<int>(rng.below(m.num_rows()));
+      m.set_rhs(row, m.rhs(row) + rng.uniform(-1.0, 1.0));
+      warm.edited_rows.assign(1, row);
+      what = "rhs edit";
+    } else if (r < 0.55) {
+      // cost flip on top of an rhs edit: the dual screen must bounce it.
+      const int row = static_cast<int>(rng.below(m.num_rows()));
+      m.set_rhs(row, m.rhs(row) + rng.uniform(-1.0, 1.0));
+      for (int j = 0; j < m.num_cols(); ++j) m.set_cost(j, -m.cost(j));
+      warm.edited_rows.assign(1, row);
+      what = "rhs + cost flip";
+    } else if (r < 0.7) {
+      // Garbage status bytes.
+      for (std::size_t j = 0; j < warm.stat.size(); j += 2) warm.stat[j] = 31;
+      what = "junk stat";
+    } else if (r < 0.8) {
+      warm.basic.assign(warm.basic.size(), 0);  // duplicate basic entries
+      what = "duplicate basics";
+    }
+    const WarmCounters before = WarmCounters::snap();
+    expect_warm_matches_cold(m, warm, opt, what);
+    const WarmCounters d = WarmCounters::snap().delta_since(before);
+    // One lp::solve = one adoption attempt (the recovery ladder may retry
+    // on numerical failure, but these well-scaled models never need it).
+    EXPECT_EQ(d.attempts, 1) << what << " trial " << trial;
+    d.expect_balanced(what);
+    ++solves;
+  }
+  ASSERT_GT(solves, 40);
+  WarmCounters::snap().delta_since(start).expect_balanced("whole population");
+}
+
+// Regression for the edited_rows hygiene pass: repeated hints must collapse
+// to one probe row, out-of-range hints must be dropped, and an all-garbage
+// hint list must not derail adoption.
+TEST(WarmStart, RepeatedAndOutOfRangeEditedRowHints) {
+  Rng rng(515);
+  SimplexOptions opt;
+  int compared = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    opt.seed = 1300 + trial;
+    Model m = random_model(rng, 4 + static_cast<int>(rng.below(7)),
+                           4 + static_cast<int>(rng.below(8)));
+    const Solution base = solve(m, opt);
+    if (base.status != Status::Optimal) continue;
+    const int row = static_cast<int>(rng.below(m.num_rows()));
+    m.set_rhs(row, m.rhs(row) + rng.uniform(-1.5, 1.5));
+
+    Basis warm = base.basis;
+    // The same row five times plus junk on both sides of the valid range.
+    warm.edited_rows = {row, row, -7, row, m.num_rows() + 42, row, row};
+    const WarmCounters before = WarmCounters::snap();
+    expect_warm_matches_cold(m, warm, opt, "repeated + out-of-range hints");
+    const WarmCounters d = WarmCounters::snap().delta_since(before);
+    EXPECT_EQ(d.attempts, 1) << "trial " << trial;
+    d.expect_balanced("repeated hints");
+
+    // Nothing valid left after filtering: behaves like an unhinted basis.
+    warm.edited_rows = {-1, -1, m.num_rows(), m.num_rows()};
+    expect_warm_matches_cold(m, warm, opt, "all hints out of range");
+    ++compared;
+  }
+  ASSERT_GT(compared, 20);
+}
+
+// The tentpole path: after a pure rhs edit the old optimal basis stays dual
+// feasible, so the hinted warm solve must route through the dual simplex
+// (lp.dual.solves) and usually reoptimize without phase 1 — and the answer
+// must match a cold solve and a --no-dual warm solve exactly as the
+// certificate demands.
+TEST(DualRestart, RhsEditReoptimizesThroughDualPhase) {
+  Rng rng(8888);
+  SimplexOptions opt;
+  int compared = 0;
+  const DualCounters start = DualCounters::snap();
+  for (int trial = 0; trial < 300; ++trial) {
+    opt.seed = 2600 + trial;
+    Model m = random_model(rng, 4 + static_cast<int>(rng.below(8)),
+                           4 + static_cast<int>(rng.below(10)));
+    const Solution base = solve(m, opt);
+    if (base.status != Status::Optimal) continue;
+    // Large edits so the old basic point usually leaves its bounds: a
+    // gentle nudge is often still primal feasible and adopts without any
+    // reoptimization, which would leave the dual phase untested.
+    const int row = static_cast<int>(rng.below(m.num_rows()));
+    m.set_rhs(row, m.rhs(row) + rng.uniform(2.0, 6.0) * (rng.uniform() < 0.5 ? -1.0 : 1.0));
+    Basis warm = base.basis;
+    warm.edited_rows.assign(1, row);
+
+    const WarmCounters before = WarmCounters::snap();
+    const Solution ws = expect_warm_matches_cold(m, warm, opt, "dual rhs-edit restart");
+    WarmCounters::snap().delta_since(before).expect_balanced("dual restart");
+
+    // The dual phase is an optimization, never a semantic switch: --no-dual
+    // must land on the same certified objective.
+    SimplexOptions no_dual = opt;
+    no_dual.dual = false;
+    const Solution wsnd = solve(m, no_dual, &warm);
+    EXPECT_EQ(wsnd.status, ws.status) << "trial " << trial;
+    if (ws.status == Status::Optimal) {
+      EXPECT_NEAR(wsnd.objective, ws.objective, 1e-9 * (1 + std::abs(ws.objective)))
+          << "trial " << trial;
+    }
+    ++compared;
+  }
+  ASSERT_GT(compared, 40);
+  const DualCounters d = DualCounters::snap().delta_since(start);
+  // The screen must route a healthy share of these restarts into the dual
+  // phase, and most dual runs must finish there (reoptimized), not fall back.
+  EXPECT_GT(d.solves, compared / 8) << "dual phase barely engaged";
+  EXPECT_GT(d.reoptimized, 0);
+  EXPECT_GE(d.solves, d.reoptimized + d.fallbacks);
+}
+
+// A dual-infeasible warm basis (rhs edit plus a cost flip) must be caught by
+// the dual-feasibility screen — counted in lp.dual.infeasible_bases, not
+// launched into the dual phase — and still reproduce the cold answer through
+// the ordinary adoption ladder.
+TEST(DualRestart, DualInfeasibleBasisIsScreenedOut) {
+  Rng rng(31337);
+  SimplexOptions opt;
+  int compared = 0;
+  const DualCounters start = DualCounters::snap();
+  for (int trial = 0; trial < 250; ++trial) {
+    opt.seed = 4100 + trial;
+    Model m = random_model(rng, 4 + static_cast<int>(rng.below(7)),
+                           4 + static_cast<int>(rng.below(9)));
+    const Solution base = solve(m, opt);
+    if (base.status != Status::Optimal) continue;
+    const int row = static_cast<int>(rng.below(m.num_rows()));
+    m.set_rhs(row, m.rhs(row) + rng.uniform(-2.0, 2.0));
+    // Invert the objective: the old reduced costs change sign, so the basis
+    // is (near-)certainly dual infeasible while structurally fine.
+    for (int j = 0; j < m.num_cols(); ++j) m.set_cost(j, -m.cost(j));
+    Basis warm = base.basis;
+    warm.edited_rows.assign(1, row);
+
+    const WarmCounters before = WarmCounters::snap();
+    expect_warm_matches_cold(m, warm, opt, "dual-infeasible basis");
+    const WarmCounters d = WarmCounters::snap().delta_since(before);
+    EXPECT_EQ(d.attempts, 1) << "trial " << trial;
+    d.expect_balanced("dual-infeasible basis");
+    ++compared;
+  }
+  ASSERT_GT(compared, 25);
+  const DualCounters d = DualCounters::snap().delta_since(start);
+  EXPECT_GT(d.infeasible_bases, 0) << "screen never fired";
+  // Screened bases never launch the dual phase, so dual activity in this
+  // window is bounded by the (rare) flips that happen to stay dual feasible.
+  EXPECT_LT(d.solves, compared / 4) << "screen let too many flipped bases through";
+}
+
+// Sweep-level contract of the dual restarts: the warm chain (dual on, the
+// default) must agree with the cold chain to near machine precision, engage
+// the dual phase on the post-head points, and an explicitly --no-dual warm
+// sweep must land on the same optima.
+TEST(DualRestart, SweepDualRestartsMatchColdTightly) {
+  const Torus torus(4);
+  const std::vector<double> grid = locality_grid(1.0, 2.0, 6);
+  SweepConfig warm_cfg;
+  warm_cfg.warm_start = true;
+  warm_cfg.chains = 1;
+  SweepConfig cold_cfg = warm_cfg;
+  cold_cfg.warm_start = false;
+
+  const DualCounters before = DualCounters::snap();
+  const auto warm = worst_case_tradeoff(torus, grid, {}, nullptr, warm_cfg);
+  const DualCounters d = DualCounters::snap().delta_since(before);
+  const auto cold = worst_case_tradeoff(torus, grid, {}, nullptr, cold_cfg);
+
+  SimplexOptions no_dual;
+  no_dual.dual = false;
+  const auto warm_nd = worst_case_tradeoff(torus, grid, no_dual, nullptr, warm_cfg);
+
+  ASSERT_EQ(warm.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    ASSERT_TRUE(warm[i].solved()) << "point " << i << ": " << warm[i].note;
+    ASSERT_TRUE(cold[i].solved()) << "point " << i;
+    ASSERT_TRUE(warm_nd[i].solved()) << "point " << i;
+    EXPECT_TRUE(warm[i].certificate.pass) << warm[i].certificate.summary();
+    // ISSUE tolerance: dual-restarted sweep objectives equal cold to 5e-15.
+    EXPECT_NEAR(warm[i].capacity_fraction, cold[i].capacity_fraction,
+                5e-15 * (1 + std::abs(cold[i].capacity_fraction)))
+        << "point " << i;
+    EXPECT_NEAR(warm_nd[i].capacity_fraction, cold[i].capacity_fraction,
+                5e-15 * (1 + std::abs(cold[i].capacity_fraction)))
+        << "point " << i;
+  }
+  // Post-head points carry a dual-feasible rhs-edited basis; the phase must
+  // actually engage and carry most of them to optimality.
+  EXPECT_GT(d.solves, 0);
+  EXPECT_GT(d.reoptimized, 0);
+}
+
+// Parallel chains with the dual phase active must stay bitwise-deterministic
+// (same partition -> same pivot sequence on every worker).
+TEST(DualRestart, ParallelDualSweepBitwiseMatchesSerial) {
+  const Torus torus(4);
+  const std::vector<double> grid = locality_grid(1.0, 2.0, 7);
+  SweepConfig cfg;
+  cfg.warm_start = true;
+  cfg.chains = 2;
+
+  const auto serial = worst_case_tradeoff(torus, grid, {}, nullptr, cfg);
+  ThreadPool pool(3);
+  const auto parallel = worst_case_tradeoff(torus, grid, {}, &pool, cfg);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].status, parallel[i].status) << "point " << i;
+    EXPECT_EQ(std::memcmp(&serial[i].capacity_fraction, &parallel[i].capacity_fraction,
+                          sizeof(double)),
+              0)
+        << "point " << i;
   }
 }
 

@@ -91,11 +91,13 @@ void print_sweep(const trace::Trace& trace) {
   const auto points = trace::sweep_points(trace);
   if (points.empty()) return;
   std::cout << "\nsweep points (" << points.size() << "):\n";
-  TextTable table({"index", "locality", "status", "warm start", "capacity", "iters", "dur"});
+  TextTable table(
+      {"index", "locality", "status", "warm start", "capacity", "iters", "dual", "dur"});
   for (const trace::SpanRec& pt : points) {
     table.add_row({attr_str(pt, "index"), attr_str(pt, "locality"), attr_str(pt, "status"),
                    attr_str(pt, "warm_start"), attr_str(pt, "capacity_fraction"),
-                   attr_str(pt, "iterations"), fmt_ns(pt.dur_ns)});
+                   attr_str(pt, "iterations"), attr_str(pt, "dual_iterations"),
+                   fmt_ns(pt.dur_ns)});
   }
   table.print(std::cout);
 }
