@@ -294,7 +294,15 @@ class JsonOutput {
 
   /// Emit one record for a series point. `fields` should be a Json object
   /// holding the point's paper-series values.
-  void point(obs::Json fields) {
+  void point(obs::Json fields) { point(std::move(fields), {}); }
+
+  /// point() with bench-computed additions to the record's perf block
+  /// (attached only under --perf, like the sampled counters): each
+  /// (name, value) pair becomes a "perf" field, so tcr-perf ingests it as
+  /// quantity `perf.<name>` alongside wall_ns/cpu_ns/alloc_bytes. Benches
+  /// use this for derived rates a hardware counter cannot express (e.g. the
+  /// simulator's wall-ns per flit-cycle).
+  void point(obs::Json fields, const std::vector<std::pair<std::string, double>>& extra_perf) {
     if (!sink_) return;
     auto rec = obs::Json::object();
     rec.set("kind", "point")
@@ -304,7 +312,9 @@ class JsonOutput {
     if (sampler_) {
       // Same work window as the obs snapshot: sample the deltas since the
       // previous point() and re-baseline.
-      rec.set("perf", sampler_->sample().to_json());
+      auto perf_block = sampler_->sample().to_json();
+      for (const auto& [name, value] : extra_perf) perf_block.set(name, value);
+      rec.set("perf", std::move(perf_block));
       sampler_->reset();
     }
     sink_->write(rec);

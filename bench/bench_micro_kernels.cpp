@@ -11,6 +11,8 @@
 // schema — google-benchmark owns its output (--benchmark_format=json).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "tcr/core/arc_flow.hpp"
 #include "tcr/lin/sparse_lu.hpp"
 #include "tcr/lp/maxflow.hpp"
@@ -21,6 +23,7 @@
 #include "tcr/perf/perf.hpp"
 #include "tcr/routing/dor.hpp"
 #include "tcr/routing/valiant.hpp"
+#include "tcr/sim/sharding.hpp"
 #include "tcr/sim/simulator.hpp"
 #include "tcr/trace/tracer.hpp"
 #include "tcr/traffic/sampler.hpp"
@@ -281,5 +284,55 @@ void BM_SimulatorCycles(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimulatorCycles)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+// Raw struct-of-arrays cycle kernel: phase 1 + phase 2 on a single shard
+// with no coordinator bookkeeping — the inner loop the saturation bench
+// spends its wall-clock in. k=8 DOR uniform at 0.40 flits/node/cycle keeps
+// the network loaded but unsaturated, so per-iteration work is steady.
+void BM_SimCycleSoA(benchmark::State& state) {
+  const Torus t(8);
+  const TorusRouting dor = make_dor(t);
+  TrafficGen gen(dor, 0.40, 42);
+  gen.prepare();
+  sim_detail::Engine eng;
+  eng.init(t, gen, nullptr, 4, 4, 1, 42, std::max(1, gen.max_path_len()));
+  obs::Histogram hist(1.0, 1.2);
+  eng.run_latency = &hist;
+  eng.global_latency = &hist;
+  eng.injecting = true;
+  for (auto _ : state) {
+    eng.phase1(0);
+    eng.phase2(0);
+    ++eng.cycle;
+  }
+  benchmark::DoNotOptimize(eng.live_flits());
+}
+BENCHMARK(BM_SimCycleSoA);
+
+// One sharded epoch step: phase 1 over every shard, then phase 2 over every
+// shard, in shard order — exactly the work between two barrier releases of
+// the parallel loop, minus the barriers themselves. Against BM_SimCycleSoA
+// this isolates the sharding overhead (mailbox copies on cross-shard hops,
+// per-shard loop bookkeeping) from thread-synchronization cost.
+void BM_SimShardedEpoch(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  const Torus t(8);
+  const TorusRouting dor = make_dor(t);
+  TrafficGen gen(dor, 0.40, 42);
+  gen.prepare();
+  sim_detail::Engine eng;
+  eng.init(t, gen, nullptr, 4, 4, shards, 42, std::max(1, gen.max_path_len()));
+  obs::Histogram hist(1.0, 1.2);
+  eng.run_latency = &hist;
+  eng.global_latency = &hist;
+  eng.injecting = true;
+  for (auto _ : state) {
+    for (int s = 0; s < shards; ++s) eng.phase1(s);
+    for (int s = 0; s < shards; ++s) eng.phase2(s);
+    ++eng.cycle;
+  }
+  benchmark::DoNotOptimize(eng.live_flits());
+}
+BENCHMARK(BM_SimShardedEpoch)->Arg(4);
 
 }  // namespace

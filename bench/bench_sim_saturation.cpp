@@ -5,23 +5,44 @@
 // this bench quantifies it for our router model and demonstrates the
 // deadlock-free VC assignments of §5.2 under load.
 //
-// Flags: --k (default 4), --cycles (default 3000), --patterns
-// (comma-free: runs uniform + complement + tornado), --json <path>
+// Flags: --k (default 4), --cycles (default 3000), --threads N (simulator
+// worker threads; clamped to the host's core count since results are
+// bitwise thread-invariant — the flag only trades wall-clock), --algo A /
+// --pattern P (case-insensitive filters restricting the sweep to one
+// algorithm and/or pattern — how CI runs a single k=8 curve), --json <path>
 // (one JSON record per algorithm x pattern, with the sim obs snapshot),
 // --trace <path> (Perfetto span trace; sim.epoch spans every
 // --trace-cycles cycles, default 500; see bench::TraceOutput), --perf
-// (hardware-counter/rusage perf block per record; see bench::JsonOutput),
-// --deadlock-threshold N (cycles without progress before the watchdog fires
-// on the high-load probe, default 1000; see SimConfig::deadlock_threshold),
-// plus the run-control flags --deadline/--budget/--rss-limit-mb (the sim
-// polls its token every 256 cycles; a cut run reports partial rows and
-// exits with bench::kExitPartial).
+// (hardware-counter/rusage perf block per record, plus the derived
+// perf.sim_wall_ns_per_flit_cycle quantity — wall time of the high-load
+// probe divided by its flit-cycles, the simulator's inverse throughput that
+// the tcr-perf gate watches; see bench::JsonOutput), --deadlock-threshold N
+// (cycles without progress before the watchdog fires on the high-load
+// probe, default 1000; see SimConfig::deadlock_threshold), plus the
+// run-control flags --deadline/--budget/--rss-limit-mb (the sim polls its
+// token every 256 cycles; a cut run reports partial rows and exits with
+// bench::kExitPartial).
 #include "bench_common.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <thread>
 
 #include "tcr/metrics/loads.hpp"
 #include "tcr/metrics/worst_case.hpp"
 #include "tcr/sim/simulator.hpp"
 #include "tcr/traffic/patterns.hpp"
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace tcr;
@@ -29,29 +50,51 @@ int main(int argc, char** argv) {
   const int k = cli.get_int("k", 4);
   const int cycles = cli.get_int("cycles", 3000);
   const long deadlock_threshold = cli.get_int("deadlock-threshold", 1000);
+  const int threads_requested = cli.get_int("threads", 1);
+  // Results are bitwise-identical for any thread count (see
+  // docs/simulator.md), so oversubscribing a small host would only slow the
+  // run down; clamp to the cores actually available.
+  const int hw = std::max(1u, std::thread::hardware_concurrency());
+  const int threads = std::max(1, std::min(threads_requested, hw));
+  const std::string algo_filter = lower(cli.get_string("algo", ""));
+  const std::string pattern_filter = lower(cli.get_string("pattern", ""));
   bench::RunControl rc(cli);
-  bench::JsonOutput jout(cli, "sim_saturation",
-                         obs::Json::object().set("k", k).set("cycles", cycles).set(
-                             "deadlock_threshold", deadlock_threshold));
+  // The filters join the meta params so a filtered run (CI's one-curve
+  // smoke) lands under its own perf config, not the full sweep's.
+  auto meta = obs::Json::object()
+                  .set("k", k)
+                  .set("cycles", cycles)
+                  .set("deadlock_threshold", deadlock_threshold)
+                  .set("threads", threads_requested);
+  if (!algo_filter.empty()) meta.set("algo", algo_filter);
+  if (!pattern_filter.empty()) meta.set("pattern", pattern_filter);
+  bench::JsonOutput jout(cli, "sim_saturation", std::move(meta));
   bench::TraceOutput trace(cli);
 
   bench::banner("Flit-level simulator: measured vs analytic saturation throughput",
-                "extension experiment; k = " + std::to_string(k));
+                "extension experiment; k = " + std::to_string(k) + ", threads = " +
+                    std::to_string(threads) +
+                    (threads == threads_requested
+                         ? ""
+                         : " (requested " + std::to_string(threads_requested) + ")"));
   const Torus torus(k);
   SimConfig cfg;
   cfg.warmup_cycles = cycles / 3;
   cfg.measure_cycles = cycles;
   cfg.drain_cycles = 0;
+  cfg.threads = threads;
   rc.apply(cfg);
   if (trace.enabled()) cfg.trace_every_k_cycles = cli.get_int("trace-cycles", 500);
 
   TextTable table({"algorithm", "pattern", "analytic Theta", "sim saturation", "fraction",
-                   "deadlock", "lat p50", "lat p95", "lat p99", "lat max"});
+                   "deadlock", "lat p50", "lat p95", "lat p99", "Mflit-cyc/s"});
   const std::vector<std::string> patterns = {"uniform", "complement", "tornado"};
   for (auto make : {make_dor, make_ival, make_valiant}) {
     if (rc.cancelled()) break;
     const TorusRouting r = make(torus);
+    if (!algo_filter.empty() && lower(r.name()) != algo_filter) continue;
     for (const auto& name : patterns) {
+      if (!pattern_filter.empty() && name != pattern_filter) continue;
       std::vector<int> perm;
       double analytic;
       if (name == "uniform") {
@@ -62,23 +105,34 @@ int main(int argc, char** argv) {
       }
       if (rc.cancelled()) break;
       const double sat = saturation_throughput(r, perm, cfg, 0.06);
-      // A high-load probe for the deadlock and latency-distribution columns.
+      // A high-load probe for the deadlock and latency-distribution columns,
+      // timed to give the flit-cycles/sec throughput of the simulator itself.
       SimConfig probe = cfg;
       probe.deadlock_threshold = deadlock_threshold;
+      const auto probe_start = std::chrono::steady_clock::now();
       const auto high = simulate(r, 0.95, perm, probe);
+      const double probe_wall_ns = std::chrono::duration<double, std::nano>(
+                                       std::chrono::steady_clock::now() - probe_start)
+                                       .count();
       if (high.cancelled || rc.cancelled()) {
         // A budget cut mid-probe leaves partial stats; drop the row rather
         // than report a half-measured latency distribution.
         break;
       }
+      const double flit_cycles_per_sec =
+          high.flit_cycles > 0 ? high.flit_cycles / (probe_wall_ns * 1e-9) : 0.0;
+      const double wall_ns_per_flit_cycle =
+          high.flit_cycles > 0 ? probe_wall_ns / static_cast<double>(high.flit_cycles) : 0.0;
       table.add_row({r.name(), name, TextTable::num(analytic, 3), TextTable::num(sat, 3),
                      TextTable::num(sat / analytic, 2), high.deadlocked ? "YES" : "no",
                      TextTable::num(high.p50_latency, 1), TextTable::num(high.p95_latency, 1),
-                     TextTable::num(high.p99_latency, 1), TextTable::num(high.max_latency, 0)});
+                     TextTable::num(high.p99_latency, 1),
+                     TextTable::num(flit_cycles_per_sec * 1e-6, 2)});
       auto fields = obs::Json::object();
       fields.set("k", k)
           .set("algorithm", r.name())
           .set("pattern", name)
+          .set("threads", threads)
           .set("analytic_throughput", analytic)
           .set("sim_saturation", sat)
           .set("fraction_of_bound", sat / analytic)
@@ -87,8 +141,13 @@ int main(int argc, char** argv) {
           .set("p50_latency", high.p50_latency)
           .set("p95_latency", high.p95_latency)
           .set("p99_latency", high.p99_latency)
-          .set("max_latency", high.max_latency);
-      jout.point(std::move(fields));
+          .set("max_latency", high.max_latency)
+          .set("flit_cycles", static_cast<std::int64_t>(high.flit_cycles))
+          .set("flit_cycles_per_sec", flit_cycles_per_sec);
+      // The derived quantity rides in the perf block (under --perf) so the
+      // tcr-perf gate tracks the simulator's inverse throughput — lower is
+      // better, matching the gate's regression direction.
+      jout.point(std::move(fields), {{"sim_wall_ns_per_flit_cycle", wall_ns_per_flit_cycle}});
     }
   }
   table.print(std::cout);

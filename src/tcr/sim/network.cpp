@@ -31,14 +31,19 @@ int required_vc_sets(const Torus& t, const Path& p) {
   return sets;
 }
 
-std::vector<int> assign_vcs(const Torus& t, const Path& p, int vcs_available) {
-  std::vector<int> vcs;
-  vcs.reserve(p.channels.size());
+namespace {
+
+// The one VC state machine, shared by both assign_vcs_into entry points;
+// `crosses` maps a channel id to its dateline predicate.
+template <typename CrossesFn>
+void assign_vcs_impl(const Torus& t, const int* channels, int len, int vcs_available,
+                     CrossesFn crosses, std::int8_t* out) {
   int set = 0;
   int bit = 0;
   bool have_prev = false, prev_x = false;
   int prev_sign = 0;
-  for (int c : p.channels) {
+  for (int i = 0; i < len; ++i) {
+    const int c = channels[i];
     const bool cur_x = is_x(t.channel_dir(c));
     const int cur_sign = sign_of(t.channel_dir(c));
     if (have_prev && cur_x != prev_x) {
@@ -51,15 +56,35 @@ std::vector<int> assign_vcs(const Torus& t, const Path& p, int vcs_available) {
     }
     // The buffer downstream of a wrap channel (and every later hop in the
     // ring) lives on the high VC — this is what breaks the ring cycle.
-    if (crosses_dateline(t, c)) bit = 1;
+    if (crosses(c)) bit = 1;
     const int vc = 2 * set + bit;
     TCR_REQUIRE(vc < vcs_available, "path needs more virtual channels than available");
-    vcs.push_back(vc);
+    out[i] = static_cast<std::int8_t>(vc);
     prev_x = cur_x;
     prev_sign = cur_sign;
     have_prev = true;
   }
-  return vcs;
+}
+
+}  // namespace
+
+void assign_vcs_into(const Torus& t, const int* channels, int len, int vcs_available,
+                     std::int8_t* out) {
+  assign_vcs_impl(t, channels, len, vcs_available,
+                  [&](int c) { return crosses_dateline(t, c); }, out);
+}
+
+void assign_vcs_into(const Torus& t, const int* channels, int len, int vcs_available,
+                     const std::uint8_t* dateline, std::int8_t* out) {
+  assign_vcs_impl(t, channels, len, vcs_available, [&](int c) { return dateline[c] != 0; },
+                  out);
+}
+
+std::vector<int> assign_vcs(const Torus& t, const Path& p, int vcs_available) {
+  const int len = static_cast<int>(p.channels.size());
+  std::vector<std::int8_t> tmp(static_cast<std::size_t>(len));
+  assign_vcs_into(t, p.channels.data(), len, vcs_available, tmp.data());
+  return std::vector<int>(tmp.begin(), tmp.end());
 }
 
 }  // namespace tcr

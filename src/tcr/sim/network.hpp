@@ -7,6 +7,7 @@
 // vc = 2 * (number of Y->X turns so far) + dateline bit.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "tcr/routing/path.hpp"
@@ -21,6 +22,19 @@ int required_vc_sets(const Torus& t, const Path& p);
 /// Per-hop virtual channel for a path. Throws if the needed VC exceeds
 /// `vcs_available`.
 std::vector<int> assign_vcs(const Torus& t, const Path& p, int vcs_available);
+
+/// Allocation-free core of assign_vcs: writes the per-hop VC of the channel
+/// sequence `channels[0..len)` into `out[0..len)`. The SoA simulator calls
+/// this directly so injection never heap-allocates per flit.
+void assign_vcs_into(const Torus& t, const int* channels, int len, int vcs_available,
+                     std::int8_t* out);
+
+/// Same, but reads the dateline predicate from a caller-precomputed
+/// per-channel table (dateline[c] != 0 iff crosses_dateline(t, c)) instead
+/// of recomputing the coordinate arithmetic per hop. The simulator builds
+/// the table once per run and injects millions of flits through this.
+void assign_vcs_into(const Torus& t, const int* channels, int len, int vcs_available,
+                     const std::uint8_t* dateline, std::int8_t* out);
 
 /// True if traversing channel c crosses its ring's dateline (the wrap edge).
 bool crosses_dateline(const Torus& t, int c);

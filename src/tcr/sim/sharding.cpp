@@ -1,0 +1,364 @@
+#include "tcr/sim/sharding.hpp"
+
+#include <bit>
+
+#include "tcr/fault/fault.hpp"
+#include "tcr/sim/network.hpp"
+#include "tcr/obs/registry.hpp"
+#include "tcr/util/check.hpp"
+#include "tcr/util/thread_pool.hpp"
+
+namespace tcr::sim_detail {
+
+ShardLayout ShardLayout::make(int num_nodes, int num_shards) {
+  TCR_REQUIRE(num_shards >= 1, "need at least one shard");
+  ShardLayout l;
+  l.num_shards = num_shards;
+  l.node_begin.resize(num_shards + 1);
+  l.shard_of_node.resize(num_nodes);
+  for (int s = 0; s < num_shards; ++s) {
+    const auto [b, e] = ThreadPool::block_range(num_nodes, num_shards, s);
+    l.node_begin[s] = b;
+    for (int n = b; n < e; ++n) l.shard_of_node[n] = s;
+  }
+  l.node_begin[num_shards] = num_nodes;
+  return l;
+}
+
+void Engine::init(const Torus& t, const TrafficGen& g, const fault::SimFaultPlan* fault_plan,
+                  int vcs_, int depth_, int shards_, std::uint64_t seed, int path_stride) {
+  torus = &t;
+  gen = &g;
+  faults = fault_plan;
+  vcs = vcs_;
+  depth = depth_;
+  num_shards = shards_;
+  layout = ShardLayout::make(t.num_nodes(), shards_);
+
+  in_channel.resize(static_cast<std::size_t>(t.num_nodes()) * kNumDirs);
+  for (int n = 0; n < t.num_nodes(); ++n) {
+    for (int d = 0; d < kNumDirs; ++d) {
+      // In-channel of n in direction d: the same-direction channel leaving
+      // the opposite neighbor.
+      const Dir dir = static_cast<Dir>(d);
+      const Dir opp = static_cast<Dir>(d ^ 1);
+      in_channel[static_cast<std::size_t>(n) * kNumDirs + d] =
+          t.channel(t.neighbor(n, opp), dir);
+    }
+  }
+  in_buf.resize(static_cast<std::size_t>(t.num_nodes()) * kNumDirs * vcs_);
+  for (int n = 0; n < t.num_nodes(); ++n) {
+    for (int d = 0; d < kNumDirs; ++d) {
+      const int c = in_channel[static_cast<std::size_t>(n) * kNumDirs + d];
+      for (int vc = 0; vc < vcs_; ++vc) {
+        in_buf[(static_cast<std::size_t>(n) * kNumDirs + d) * vcs_ + vc] = c * vcs_ + vc;
+      }
+    }
+  }
+  node_x.resize(t.num_nodes());
+  node_y.resize(t.num_nodes());
+  for (int n = 0; n < t.num_nodes(); ++n) {
+    node_x[n] = t.x_of(n);
+    node_y[n] = t.y_of(n);
+  }
+  dateline.resize(t.num_channels());
+  chan_dst_shard.resize(t.num_channels());
+  for (int c = 0; c < t.num_channels(); ++c) {
+    dateline[c] = crosses_dateline(t, c) ? 1 : 0;
+    chan_dst_shard[c] = layout.shard_of_node[t.channel_dst(c)];
+  }
+
+  shards.assign(shards_, ShardState{});
+  mailboxes.assign(static_cast<std::size_t>(shards_) * shards_, Mailbox{});
+  for (int s = 0; s < shards_; ++s) {
+    const int nodes = layout.node_begin[s + 1] - layout.node_begin[s];
+    // Steady-state flit population is bounded by the buffer space plus a
+    // source-queue allowance; start with a modest reservation and grow.
+    shards[s].pool.reset(path_stride, nodes * kNumDirs * depth_);
+  }
+  rings.reset(t.num_channels() * vcs_, depth_);
+  src_queues.reset(t.num_nodes());
+  occ.assign(static_cast<std::size_t>(t.num_channels()) * vcs_, 0);
+  eject_rr.assign(t.num_nodes(), 0);
+  out_rr.assign(t.num_channels(), 0);
+  want.assign(static_cast<std::size_t>(t.num_channels()) * vcs_, kWantNone);
+  want_src.assign(t.num_nodes(), kWantNone);
+  node_rng.clear();
+  node_rng.reserve(t.num_nodes());
+  for (int n = 0; n < t.num_nodes(); ++n) {
+    // One independent stream per node: splitmix64 seeding decorrelates
+    // consecutive seeds, so (seed, node) -> stream is deterministic and
+    // shard-agnostic.
+    node_rng.emplace_back(seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(n + 1));
+  }
+
+  cycle = 0;
+  injecting = true;
+  measuring = false;
+}
+
+void Engine::materialize(FlitPool& pool, int n, const Path& path, std::int64_t when,
+                         std::uint8_t measured_flag) {
+  const Torus& t = *torus;
+  const int k = t.k();
+  const FlitId f = pool.alloc();
+  const auto& canonical = path.channels;
+  const int len = static_cast<int>(canonical.size());
+  std::int32_t* ch = pool.channels(f);
+  // Division-free translate_channel: translate the source node of each
+  // canonical channel by n via the coordinate tables (wrap = one
+  // conditional subtract; coordinates stay in [0, k)).
+  const int tx = node_x[n], ty = node_y[n];
+  for (int j = 0; j < len; ++j) {
+    const int c = canonical[j];
+    const int a = c >> 2;
+    int xw = node_x[a] + tx;
+    if (xw >= k) xw -= k;
+    int yw = node_y[a] + ty;
+    if (yw >= k) yw -= k;
+    ch[j] = ((xw + k * yw) << 2) | (c & 3);
+  }
+  assign_vcs_into(t, ch, len, vcs, dateline.data(), pool.vcs(f));
+  pool.hop[f] = 0;
+  pool.len[f] = len;
+  pool.injected_at[f] = when;
+  pool.measured[f] = measured_flag;
+  src_queues.head[n] = f;
+  want_src[n] = ch[0];
+}
+
+void Engine::phase1(int s) {
+  ShardState& sh = shards[s];
+  FlitPool& pool = sh.pool;
+  const int node_lo = layout.node_begin[s], node_hi = layout.node_begin[s + 1];
+
+  sh.moved = false;
+
+  // ---- apply staged arrivals from the previous cycle ----
+  // Mailboxes in fixed source-shard order, then same-shard moves. Each
+  // buffer receives at most one flit per cycle, so this order is fixed by
+  // construction — it exists to make the determinism argument local.
+  for (int a = 0; a < num_shards; ++a) {
+    Mailbox& m = mailboxes[static_cast<std::size_t>(a) * num_shards + s];
+    const int stride = pool.stride();
+    for (std::size_t i = 0; i < m.items.size(); ++i) {
+      const Handoff& h = m.items[i];
+      const FlitId f = pool.alloc();
+      pool.hop[f] = 0;
+      pool.len[f] = h.rem;
+      pool.injected_at[f] = h.injected_at;
+      pool.measured[f] = h.measured;
+      const std::int32_t* ch_src = m.channels.data() + i * static_cast<std::size_t>(stride);
+      const std::int8_t* vc_src = m.vcs.data() + i * static_cast<std::size_t>(stride);
+      std::int32_t* ch_dst = pool.channels(f);
+      std::int8_t* vc_dst = pool.vcs(f);
+      for (int j = 0; j < h.rem; ++j) {
+        ch_dst[j] = ch_src[j];
+        vc_dst[j] = vc_src[j];
+      }
+      rings.push(h.buf, f);
+      if (rings.size(h.buf) == 1) want[h.buf] = next_want(pool, f);
+    }
+    m.clear();
+  }
+  for (const ShardState::LocalMove& lm : sh.local_moves) {
+    rings.push(lm.buf, lm.flit);
+    if (rings.size(lm.buf) == 1) want[lm.buf] = next_want(pool, lm.flit);
+  }
+  sh.local_moves.clear();
+
+  // ---- injection (one Bernoulli draw per node per cycle) ----
+  if (injecting) {
+    for (int n = node_lo; n < node_hi; ++n) {
+      const auto d = gen->draw(n, node_rng[n]);
+      if (!d) continue;
+      const std::uint8_t m = measuring ? 1 : 0;
+      if (src_queues.empty(n)) {
+        materialize(pool, n, *d->canonical, cycle, m);
+      } else {
+        src_queues.push_backlog(n, {d->canonical, cycle, m});
+        ++sh.queued;
+      }
+      ++sh.injected;
+      if (measuring) ++sh.window_injected;
+    }
+  }
+
+  // ---- ejection: one flit per node per cycle ----
+  // The round-robin wrap is a conditional subtract, not `%`: the probe loops
+  // run every cycle for every node/channel and a runtime-divisor modulo is a
+  // hardware divide — removing it roughly halves the idle per-cycle cost.
+  const int eject_slots = kNumDirs * vcs;
+  for (int n = node_lo; n < node_hi; ++n) {
+    const std::int32_t* bufs = in_buf.data() + static_cast<std::size_t>(n) * eject_slots;
+    for (int probe = 0; probe < eject_slots; ++probe) {
+      int slot = eject_rr[n] + probe;
+      if (slot >= eject_slots) slot -= eject_slots;
+      const int buf = bufs[slot];
+      if (want[buf] != kWantEject) continue;  // empty, or front still in transit
+      const FlitId f = rings.front(buf);
+      rings.pop(buf);
+      want[buf] = rings.empty(buf) ? kWantNone : next_want(pool, rings.front(buf));
+      ++sh.ejected;
+      if (measuring) ++sh.window_ejected;
+      if (pool.measured[f]) {
+        const long lat = static_cast<long>(cycle - pool.injected_at[f]);
+        sh.latency_sum += lat;
+        ++sh.latency_count;
+        run_latency->record(static_cast<double>(lat));
+        global_latency->record(static_cast<double>(lat));
+      }
+      pool.release(f);
+      eject_rr[n] = slot + 1 == eject_slots ? 0 : slot + 1;
+      sh.moved = true;
+      break;
+    }
+  }
+
+  // ---- publish the post-ejection occupancy snapshot ----
+  // Phase-2 capacity checks (any shard) read these as this cycle's credits.
+  for (int n = node_lo; n < node_hi; ++n) {
+    const std::int32_t* bufs = in_buf.data() + static_cast<std::size_t>(n) * eject_slots;
+    for (int i = 0; i < eject_slots; ++i) {
+      occ[bufs[i]] = static_cast<std::int16_t>(rings.size(bufs[i]));
+    }
+  }
+}
+
+void Engine::phase2(int s) {
+  ShardState& sh = shards[s];
+  FlitPool& pool = sh.pool;
+  const Torus& t = *torus;
+  const int slots = 1 + kNumDirs * vcs;
+
+  // Candidate slot encoding per output channel c at node n = src(c):
+  //   0                -> source queue of n
+  //   1 + dir*vcs + vc -> input buffer (in-channel dir, vc)
+  //
+  // The round-robin wrap is a conditional subtract, not `%` — see phase 1.
+  for (int n = layout.node_begin[s]; n < layout.node_begin[s + 1]; ++n) {
+    // Fault accounting first: link_down_cycles counts faulted
+    // (channel, cycle) pairs whether or not traffic is present, so it must
+    // not sit behind the empty-node fast path below.
+    if (faults != nullptr) {
+      for (int d = 0; d < kNumDirs; ++d) {
+        if (faults->link_down(t.channel(n, static_cast<Dir>(d)), cycle))
+          ++sh.link_down_cycles;
+      }
+    }
+    // One pass over the node's 17 arbitration slots builds a candidate
+    // bitmask per output direction (a flit buffered at n can only want one
+    // of n's four output channels — `want` IS that channel id). The four
+    // channel arbiters below then scan only their own candidates by cyclic
+    // bit-scan instead of re-probing all 17 slots each: at saturation this
+    // replaces ~68 unpredictable-branch probes per node with 17 loads plus
+    // a few bit operations. A node with nothing to send (or only flits
+    // awaiting ejection) yields four empty masks and is skipped outright.
+    const std::int32_t* bufs = in_buf.data() + static_cast<std::size_t>(n) * (slots - 1);
+    std::uint32_t cand[kNumDirs] = {0, 0, 0, 0};
+    if (const int w = want_src[n]; w >= 0) cand[w & 3] |= 1u;
+    for (int i = 0; i < slots - 1; ++i) {
+      if (const int w = want[bufs[i]]; w >= 0) cand[w & 3] |= 1u << (i + 1);
+    }
+    if ((cand[0] | cand[1] | cand[2] | cand[3]) == 0) continue;
+
+    for (int c = n * kNumDirs; c < (n + 1) * kNumDirs; ++c) {
+      std::uint32_t m = cand[c & 3];
+      if (m == 0) continue;
+      if (faults != nullptr && faults->link_down(c, cycle)) {
+        continue;  // link transmits nothing this cycle (counted above)
+      }
+      const std::uint32_t rr = static_cast<std::uint32_t>(out_rr[c]);
+      while (m != 0) {
+        // First candidate in cyclic round-robin order from out_rr: the
+        // lowest set bit at position >= rr, else the lowest set bit overall.
+        const std::uint32_t ge = (m >> rr) << rr;
+        const int slot = std::countr_zero(ge != 0 ? ge : m);
+        FlitId f;
+        int from_buf = -1;
+        if (slot == 0) {
+          f = src_queues.head[n];
+        } else {
+          from_buf = bufs[slot - 1];
+          f = rings.front(from_buf);
+        }
+        const int hop = pool.hop[f];
+        const int vc_next = pool.vcs(f)[hop];
+        const int dbuf = buffer_index(c, vc_next);
+        if (occ[dbuf] >= depth) {  // no credit this cycle
+          m &= ~(1u << slot);      // try the next candidate in cyclic order
+          continue;
+        }
+        if (faults != nullptr && faults->credit_stalled(c, vc_next, cycle)) {
+          ++sh.credit_stalls;
+          m &= ~(1u << slot);
+          continue;  // downstream reports no credit despite free space
+        }
+
+        // Commit the move: pop, advance, stage the push for next phase 1.
+        // The slot's successor (promoted queue head / new ring front) is
+        // added to the candidate masks so this node's not-yet-arbitrated
+        // output channels see it this same cycle, exactly as the probe
+        // loops saw a fully re-read slot.
+        if (slot == 0) {
+          src_queues.head[n] = kNoFlit;
+          if (src_queues.has_backlog(n)) {
+            const SourceQueues::Pending p = src_queues.pop_backlog(n);
+            --sh.queued;
+            materialize(pool, n, *p.path, p.injected_at, p.measured);
+            cand[want_src[n] & 3] |= 1u;
+          } else {
+            want_src[n] = kWantNone;
+          }
+        } else {
+          rings.pop(from_buf);
+          if (rings.empty(from_buf)) {
+            want[from_buf] = kWantNone;
+          } else {
+            const int w = next_want(pool, rings.front(from_buf));
+            want[from_buf] = w;
+            if (w >= 0) cand[w & 3] |= 1u << slot;
+          }
+        }
+        pool.hop[f] = hop + 1;
+        const int dst_shard = chan_dst_shard[c];
+        if (dst_shard == s) {
+          sh.local_moves.push_back({dbuf, f});
+        } else {
+          Mailbox& mb = mailboxes[static_cast<std::size_t>(s) * num_shards + dst_shard];
+          const int rem = pool.len[f] - pool.hop[f];
+          Handoff h;
+          h.buf = dbuf;
+          h.rem = rem;
+          h.injected_at = pool.injected_at[f];
+          h.measured = pool.measured[f];
+          mb.items.push_back(h);
+          const int stride = pool.stride();
+          const std::size_t base = mb.channels.size();
+          mb.channels.resize(base + static_cast<std::size_t>(stride));
+          mb.vcs.resize(base + static_cast<std::size_t>(stride));
+          const std::int32_t* ch = pool.channels(f) + pool.hop[f];
+          const std::int8_t* vc = pool.vcs(f) + pool.hop[f];
+          for (int j = 0; j < rem; ++j) {
+            mb.channels[base + j] = ch[j];
+            mb.vcs[base + j] = vc[j];
+          }
+          pool.release(f);
+          ++sh.handoffs;
+        }
+        out_rr[c] = slot + 1 == slots ? 0 : slot + 1;
+        sh.moved = true;
+        break;
+      }
+    }
+  }
+}
+
+long Engine::live_flits() const {
+  long live = 0;
+  for (const ShardState& sh : shards) live += sh.pool.live() + sh.queued;
+  for (const Mailbox& m : mailboxes) live += static_cast<long>(m.items.size());
+  return live;
+}
+
+}  // namespace tcr::sim_detail

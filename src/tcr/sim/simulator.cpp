@@ -1,10 +1,15 @@
 #include "tcr/sim/simulator.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
+#include <future>
 #include <string>
 
 #include "tcr/fault/fault.hpp"
 #include "tcr/util/check.hpp"
+#include "tcr/util/epoch_barrier.hpp"
+#include "tcr/util/thread_pool.hpp"
 
 namespace tcr {
 
@@ -44,10 +49,8 @@ Simulator::Simulator(const TorusRouting& routing, TrafficGen& gen, const SimConf
     : torus_(routing.torus()), gen_(gen), cfg_(config) {
   TCR_REQUIRE(cfg_.vcs >= 1 && cfg_.buffer_depth >= 1, "need at least one VC and one slot");
   TCR_REQUIRE(cfg_.stats_window >= 1, "stats window must be positive");
-  buffers_.resize(static_cast<std::size_t>(torus_.num_channels()) * cfg_.vcs);
-  source_queue_.resize(torus_.num_nodes());
-  eject_rr_.assign(torus_.num_nodes(), 0);
-  output_rr_.assign(torus_.num_channels(), 0);
+  TCR_REQUIRE(cfg_.threads >= 1, "need at least one simulation thread");
+  TCR_REQUIRE(cfg_.shards >= 0, "shard count must be non-negative");
   occupancy_.reserve(cfg_.vcs);
   for (int vc = 0; vc < cfg_.vcs; ++vc) {
     occupancy_.push_back(&obs::Registry::instance().histogram(
@@ -55,246 +58,336 @@ Simulator::Simulator(const TorusRouting& routing, TrafficGen& gen, const SimConf
   }
 }
 
-// Record one measurement window: injection/ejection rates over the window
-// and the instantaneous mean per-VC buffer occupancy (flits per channel).
-void Simulator::sample_window() {
+// Fold the current measurement window: record its injection/ejection rates
+// and the instantaneous mean per-VC buffer occupancy (flits per channel),
+// and add its counts to the totals the final rates are computed over.
+void Simulator::fold_window() {
   auto& met = SimMetrics::get();
+  long wi = 0, we = 0;
+  for (auto& sh : eng_.shards) {
+    wi += sh.window_injected;
+    we += sh.window_ejected;
+    sh.window_injected = 0;
+    sh.window_ejected = 0;
+  }
+  const long wc = eng_.cycle - window_start_;
+  stats_.windows.push_back({wc, wi, we});
+  stats_.measured_cycles += wc;
+  counted_injected_ += wi;
+  counted_ejected_ += we;
   const double node_cycles =
-      static_cast<double>(torus_.num_nodes()) * static_cast<double>(cycle_ - window_start_);
-  met.injection_rate.record(static_cast<double>(window_injected_) / node_cycles);
-  met.accepted_rate.record(static_cast<double>(window_ejected_) / node_cycles);
+      static_cast<double>(torus_.num_nodes()) * static_cast<double>(wc);
+  met.injection_rate.record(static_cast<double>(wi) / node_cycles);
+  met.accepted_rate.record(static_cast<double>(we) / node_cycles);
   for (int vc = 0; vc < cfg_.vcs; ++vc) {
     long flits = 0;
     for (int c = 0; c < torus_.num_channels(); ++c) {
-      flits += static_cast<long>(buffers_[buffer_index(c, vc)].size());
+      flits += eng_.rings.size(eng_.buffer_index(c, vc));
     }
     occupancy_[vc]->record(static_cast<double>(flits) / torus_.num_channels());
   }
-  window_start_ = cycle_;
-  window_injected_ = 0;
-  window_ejected_ = 0;
-}
-
-bool Simulator::network_empty() const {
-  for (const auto& b : buffers_)
-    if (!b.empty()) return false;
-  for (const auto& q : source_queue_)
-    if (!q.empty()) return false;
-  return true;
-}
-
-void Simulator::step() {
-  bool moved = false;
-
-  // ---- injection ----
-  if (!draining_) {
-    for (int n = 0; n < torus_.num_nodes(); ++n) {
-      auto path = gen_.maybe_inject(n);
-      if (!path) continue;
-      Packet p;
-      p.dst = path->dst;
-      p.vcs = assign_vcs(torus_, *path, cfg_.vcs);
-      p.channels = std::move(path->channels);
-      p.injected_at = cycle_;
-      p.measured = measuring_;
-      ++stats_.injected;
-      if (measuring_) {
-        ++measured_injected_;
-        ++window_injected_;
-      }
-      source_queue_[n].push_back(std::move(p));
-    }
-  }
-
-  // ---- ejection: one packet per node per cycle ----
-  for (int n = 0; n < torus_.num_nodes(); ++n) {
-    const int slots = kNumDirs * cfg_.vcs;
-    for (int probe = 0; probe < slots; ++probe) {
-      const int slot = (eject_rr_[n] + probe) % slots;
-      const int dir = slot / cfg_.vcs, vc = slot % cfg_.vcs;
-      // In-channel of n in direction dir: same-direction channel leaving the
-      // opposite neighbor.
-      const Dir d = static_cast<Dir>(dir);
-      const Dir opp = static_cast<Dir>(dir ^ 1);
-      const int c = torus_.channel(torus_.neighbor(n, opp), d);
-      auto& buf = buffers_[buffer_index(c, vc)];
-      if (buf.empty() || buf.front().hop < static_cast<int>(buf.front().channels.size()))
-        continue;
-      Packet p = std::move(buf.front());
-      buf.pop_front();
-      ++stats_.ejected;
-      if (measuring_) {
-        ++measured_ejected_;
-        ++window_ejected_;
-      }
-      if (p.measured) {
-        const double lat = static_cast<double>(cycle_ - p.injected_at);
-        latency_sum_ += lat;
-        ++latency_count_;
-        latency_hist_.record(lat);
-        SimMetrics::get().latency.record(lat);
-      }
-      eject_rr_[n] = (slot + 1) % slots;
-      moved = true;
-      break;
-    }
-  }
-
-  // ---- channel traversal: one flit per channel per cycle ----
-  // Candidate slot encoding per output channel c at node n:
-  //   0                    -> source queue of n
-  //   1 + dir*vcs + vc     -> input buffer (in-channel dir, vc)
-  for (int c = 0; c < torus_.num_channels(); ++c) {
-    if (cfg_.faults && cfg_.faults->link_down(c, cycle_)) {
-      SimMetrics::get().link_fault_cycles.add(1);
-      continue;  // link transmits nothing this cycle
-    }
-    const int n = torus_.channel_src(c);
-    const int slots = 1 + kNumDirs * cfg_.vcs;
-    for (int probe = 0; probe < slots; ++probe) {
-      const int slot = (output_rr_[c] + probe) % slots;
-      std::deque<Packet>* queue = nullptr;
-      if (slot == 0) {
-        queue = &source_queue_[n];
-      } else {
-        const int dir = (slot - 1) / cfg_.vcs, vc = (slot - 1) % cfg_.vcs;
-        const Dir d = static_cast<Dir>(dir);
-        const Dir opp = static_cast<Dir>(dir ^ 1);
-        queue = &buffers_[buffer_index(torus_.channel(torus_.neighbor(n, opp), d), vc)];
-      }
-      if (queue->empty()) continue;
-      Packet& head = queue->front();
-      if (head.hop >= static_cast<int>(head.channels.size())) continue;  // awaiting ejection
-      if (head.channels[head.hop] != c) continue;
-      if (head.moved_stamp == cycle_) continue;  // already advanced this cycle
-      auto& dst_buf = buffers_[buffer_index(c, head.vcs[head.hop])];
-      if (static_cast<int>(dst_buf.size()) >= cfg_.buffer_depth) continue;
-      if (cfg_.faults && cfg_.faults->credit_stalled(c, head.vcs[head.hop], cycle_)) {
-        SimMetrics::get().credit_stall_skips.add(1);
-        continue;  // downstream reports no credit despite free space
-      }
-
-      Packet p = std::move(head);
-      queue->pop_front();
-      p.moved_stamp = cycle_;
-      ++p.hop;
-      dst_buf.push_back(std::move(p));
-      output_rr_[c] = (slot + 1) % slots;
-      moved = true;
-      break;
-    }
-  }
-
-  if (moved) {
-    // Movement resuming after a long quiet streak is a deadlock near-miss:
-    // the watchdog would have fired had the stall lasted twice as long.
-    if (cycle_ - last_movement_ > cfg_.deadlock_threshold / 2) {
-      SimMetrics::get().near_misses.add(1);
-    }
-    last_movement_ = cycle_;
-  }
-  ++cycle_;
-  if (measuring_ && cycle_ - window_start_ >= cfg_.stats_window) sample_window();
-  if (trace_k_ != 0 && cycle_ - epoch_start_cycle_ >= trace_k_) {
-    end_epoch();
-    begin_epoch();
-  }
+  window_start_ = eng_.cycle;
 }
 
 void Simulator::begin_epoch() {
   if (trace_k_ == 0) return;
   epoch_span_ = std::make_unique<trace::Span>("sim.epoch");
   epoch_span_->attr("epoch", epoch_index_);
-  epoch_span_->attr("start_cycle", cycle_);
-  epoch_start_cycle_ = cycle_;
-  epoch_injected_ = stats_.injected;
-  epoch_ejected_ = stats_.ejected;
+  epoch_span_->attr("start_cycle", eng_.cycle);
+  epoch_start_cycle_ = eng_.cycle;
+  epoch_injected_ = 0;
+  epoch_ejected_ = 0;
+  epoch_handoffs_.assign(eng_.shards.size(), 0);
+  for (std::size_t s = 0; s < eng_.shards.size(); ++s) {
+    epoch_injected_ += eng_.shards[s].injected;
+    epoch_ejected_ += eng_.shards[s].ejected;
+    epoch_handoffs_[s] = eng_.shards[s].handoffs;
+  }
 }
 
 void Simulator::end_epoch() {
   if (epoch_span_ == nullptr) return;
-  const long injected = stats_.injected - epoch_injected_;
-  const long ejected = stats_.ejected - epoch_ejected_;
-  epoch_span_->attr("cycles", cycle_ - epoch_start_cycle_);
-  epoch_span_->attr("injected", injected);
-  epoch_span_->attr("ejected", ejected);
+  long injected = 0, ejected = 0;
+  for (const auto& sh : eng_.shards) {
+    injected += sh.injected;
+    ejected += sh.ejected;
+  }
+  const long cycles = eng_.cycle - epoch_start_cycle_;
+  epoch_span_->attr("cycles", cycles);
+  epoch_span_->attr("injected", injected - epoch_injected_);
+  epoch_span_->attr("ejected", ejected - epoch_ejected_);
+  // One child span per shard with its share of the epoch's cross-shard
+  // traffic — the flame summary aggregates these by name, so shard balance
+  // and handoff volume are visible per run.
+  for (std::size_t s = 0; s < eng_.shards.size(); ++s) {
+    trace::Span shard_span("sim.epoch.shard");
+    shard_span.attr("shard_id", static_cast<long>(s));
+    shard_span.attr("handoff_flits", eng_.shards[s].handoffs - epoch_handoffs_[s]);
+    shard_span.attr("cycles", cycles);
+  }
+  epoch_span_.reset();
   // Counter tracks alongside the spans: cumulative flit totals, sampled once
   // per epoch, grouped under the epoch's parent (the phase span).
-  epoch_span_.reset();
-  trace::counter("sim.injected", static_cast<double>(stats_.injected));
-  trace::counter("sim.ejected", static_cast<double>(stats_.ejected));
+  trace::counter("sim.injected", static_cast<double>(injected));
+  trace::counter("sim.ejected", static_cast<double>(ejected));
   ++epoch_index_;
 }
 
+// Enter phase p, falling through zero-length phases immediately so a
+// configuration like warmup_cycles=0 never simulates a stray cycle.
+void Simulator::start_phase(Phase p) {
+  while (true) {
+    phase_ = p;
+    steps_in_phase_ = 0;
+    switch (p) {
+      case Phase::Warmup:
+        phase_span_ = std::make_unique<trace::Span>("sim.warmup");
+        begin_epoch();
+        if (cfg_.warmup_cycles > 0) return;
+        end_epoch();
+        phase_span_.reset();
+        p = Phase::Measure;
+        break;
+      case Phase::Measure:
+        phase_span_ = std::make_unique<trace::Span>("sim.measure");
+        begin_epoch();
+        eng_.measuring = true;
+        window_start_ = eng_.cycle;
+        if (cfg_.measure_cycles > 0) return;
+        eng_.measuring = false;
+        end_epoch();
+        phase_span_.reset();
+        p = Phase::Drain;
+        break;
+      case Phase::Drain:
+        eng_.injecting = false;
+        phase_span_ = std::make_unique<trace::Span>("sim.drain");
+        begin_epoch();
+        if (cfg_.drain_cycles > 0 && eng_.live_flits() > 0) return;
+        end_epoch();
+        phase_span_.reset();
+        p = Phase::Done;
+        break;
+      case Phase::Done:
+        stop_ = true;
+        return;
+    }
+  }
+}
+
+// Deadlock or cancellation: close out the current phase and stop. A partial
+// measurement window is folded (its cycles really elapsed) unless the stop
+// is a cancellation, where the window is discarded so the reported rates
+// cover only fully-measured samples.
+void Simulator::stop_early(bool discard_partial_window) {
+  if (phase_ == Phase::Measure) {
+    if (!discard_partial_window && eng_.cycle > window_start_) fold_window();
+    eng_.measuring = false;
+  }
+  end_epoch();
+  phase_span_.reset();
+  phase_ = Phase::Done;
+  stop_ = true;
+}
+
+void Simulator::tick() {
+  const long executed = eng_.cycle;  // the cycle both phases just simulated
+
+  bool moved = false;
+  for (const auto& sh : eng_.shards) moved |= sh.moved;
+  if (moved) {
+    // Movement resuming after a long quiet streak is a deadlock near-miss:
+    // the watchdog would have fired had the stall lasted twice as long.
+    if (executed - last_movement_ > cfg_.deadlock_threshold / 2) ++near_misses_;
+    last_movement_ = executed;
+  }
+  const long live = eng_.live_flits();
+  stats_.flit_cycles += live;
+  eng_.cycle = executed + 1;
+  ++steps_in_phase_;
+
+  if (phase_ == Phase::Measure && eng_.cycle - window_start_ >= cfg_.stats_window) {
+    fold_window();
+  }
+  if (trace_k_ != 0 && eng_.cycle - epoch_start_cycle_ >= trace_k_) {
+    end_epoch();
+    begin_epoch();
+  }
+
+  if (live > 0 && eng_.cycle - last_movement_ > cfg_.deadlock_threshold) {
+    stats_.deadlocked = true;
+    stop_early(/*discard_partial_window=*/false);
+    return;
+  }
+  // Run-control safepoint: one flag poll (plus deadline/RSS evaluation)
+  // every 256 cycles — far below the cost of a single simulated cycle.
+  if (cfg_.cancel != nullptr && ((steps_in_phase_ - 1) & 255) == 0 && cfg_.cancel->check()) {
+    stats_.cancelled = true;
+    stop_early(/*discard_partial_window=*/true);
+    return;
+  }
+
+  switch (phase_) {
+    case Phase::Warmup:
+      if (steps_in_phase_ >= cfg_.warmup_cycles) {
+        end_epoch();
+        phase_span_.reset();
+        start_phase(Phase::Measure);
+      }
+      break;
+    case Phase::Measure:
+      if (steps_in_phase_ >= cfg_.measure_cycles) {
+        if (eng_.cycle > window_start_) fold_window();  // flush the partial window
+        eng_.measuring = false;
+        end_epoch();
+        phase_span_.reset();
+        start_phase(Phase::Drain);
+      }
+      break;
+    case Phase::Drain:
+      if (live == 0 || steps_in_phase_ >= cfg_.drain_cycles) {
+        end_epoch();
+        phase_span_.reset();
+        start_phase(Phase::Done);
+      }
+      break;
+    case Phase::Done:
+      break;
+  }
+}
+
+void Simulator::serial_loop(int num_shards) {
+  while (!stop_) {
+    for (int s = 0; s < num_shards; ++s) eng_.phase1(s);
+    for (int s = 0; s < num_shards; ++s) eng_.phase2(s);
+    tick();
+  }
+}
+
+void Simulator::parallel_loop(int threads, int num_shards) {
+  EpochBarrier barrier1(threads), barrier2(threads);
+  // Kernel exceptions (configuration errors such as an undersized VC count)
+  // are latched, not thrown: every participant must keep the barrier
+  // cadence or the others spin forever. The first exception is rethrown on
+  // the coordinator once all workers have exited.
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+  auto guard_phase = [&](auto&& body) {
+    if (failed.load(std::memory_order_relaxed)) return;
+    try {
+      body();
+    } catch (...) {
+      {
+        std::lock_guard lock(error_mu);
+        if (error == nullptr) error = std::current_exception();
+      }
+      failed.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  ThreadPool pool(static_cast<std::size_t>(threads - 1));
+  std::vector<std::future<void>> workers;
+  workers.reserve(threads - 1);
+  for (int p = 1; p < threads; ++p) {
+    workers.push_back(pool.submit([&, p] {
+      const auto [lo, hi] = ThreadPool::block_range(num_shards, threads, p);
+      while (true) {
+        guard_phase([&] {
+          for (int s = lo; s < hi; ++s) eng_.phase1(s);
+        });
+        barrier1.arrive_and_wait();
+        guard_phase([&] {
+          for (int s = lo; s < hi; ++s) eng_.phase2(s);
+        });
+        barrier2.arrive_and_wait();
+        if (stop_) break;
+      }
+    }));
+  }
+
+  const auto [lo, hi] = ThreadPool::block_range(num_shards, threads, 0);
+  while (true) {
+    guard_phase([&] {
+      for (int s = lo; s < hi; ++s) eng_.phase1(s);
+    });
+    barrier1.coordinate();
+    guard_phase([&] {
+      for (int s = lo; s < hi; ++s) eng_.phase2(s);
+    });
+    barrier2.coordinate([&] {
+      if (failed.load(std::memory_order_relaxed)) {
+        stop_ = true;
+      } else {
+        tick();
+      }
+    });
+    if (stop_) break;
+  }
+  for (auto& w : workers) w.get();
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
 SimStats Simulator::run() {
-  SimMetrics::get().runs.add(1);
+  auto& met = SimMetrics::get();
+  met.runs.add(1);
   trace::Span run_span("sim.run");
   trace_k_ = cfg_.trace_every_k_cycles > 0 && trace::enabled() ? cfg_.trace_every_k_cycles
                                                                : 0;
-  auto deadlock_check = [&] {
-    if (!network_empty() && cycle_ - last_movement_ > cfg_.deadlock_threshold) {
-      stats_.deadlocked = true;
-      return true;
-    }
-    return false;
-  };
-  // Run-control safepoint: one flag poll (plus deadline/RSS evaluation)
-  // every 256 cycles — far below the cost of a single simulated cycle.
-  auto cancelled = [&](int i) {
-    if (cfg_.cancel == nullptr || (i & 255) != 0) return false;
-    if (!cfg_.cancel->check()) return false;
-    stats_.cancelled = true;
-    return true;
-  };
 
-  {
-    trace::Span phase("sim.warmup");
-    begin_epoch();
-    for (int i = 0; i < cfg_.warmup_cycles; ++i) {
-      step();
-      if (deadlock_check() || cancelled(i)) break;
-    }
-    end_epoch();
-  }
-  if (!stats_.deadlocked && !stats_.cancelled) {
-    trace::Span phase("sim.measure");
-    begin_epoch();
-    measuring_ = true;
-    window_start_ = cycle_;
-    for (int i = 0; i < cfg_.measure_cycles; ++i) {
-      step();
-      if (deadlock_check() || cancelled(i)) break;
-    }
-    if (cycle_ > window_start_) sample_window();  // flush the partial window
-    measuring_ = false;
-    end_epoch();
-  }
-  if (!stats_.deadlocked && !stats_.cancelled) {
-    trace::Span phase("sim.drain");
-    begin_epoch();
-    draining_ = true;
-    for (int i = 0; i < cfg_.drain_cycles && !network_empty(); ++i) {
-      step();
-      if (deadlock_check() || cancelled(i)) break;
-    }
-    end_epoch();
-  }
-  if (stats_.cancelled) stats_.note = cfg_.cancel->note();
+  gen_.prepare();
+  const int threads = std::max(1, cfg_.threads);
+  const int num_shards = cfg_.shards > 0 ? cfg_.shards : threads;
+  eng_.init(torus_, gen_, cfg_.faults, cfg_.vcs, cfg_.buffer_depth, num_shards, cfg_.seed,
+            std::max(1, gen_.max_path_len()));
+  eng_.run_latency = &latency_hist_;
+  eng_.global_latency = &met.latency;
 
-  stats_.cycles_run = cycle_;
+  start_phase(Phase::Warmup);
+  if (!stop_) {
+    if (threads == 1) {
+      serial_loop(num_shards);
+    } else {
+      parallel_loop(std::min(threads, num_shards), num_shards);
+    }
+  }
+
+  if (stats_.cancelled && cfg_.cancel != nullptr) stats_.note = cfg_.cancel->note();
+
+  // Fold shard totals and flush the run's metric deltas (deterministic
+  // order, independent of thread/shard count).
+  long latency_sum = 0, latency_count = 0, link_down = 0, stalls = 0;
+  for (const auto& sh : eng_.shards) {
+    stats_.injected += sh.injected;
+    stats_.ejected += sh.ejected;
+    latency_sum += sh.latency_sum;
+    latency_count += sh.latency_count;
+    link_down += sh.link_down_cycles;
+    stalls += sh.credit_stalls;
+  }
+  if (near_misses_ > 0) met.near_misses.add(near_misses_);
+  if (link_down > 0) met.link_fault_cycles.add(link_down);
+  if (stalls > 0) met.credit_stall_skips.add(stalls);
+  if (stats_.deadlocked) met.deadlocks.add(1);
+
+  stats_.cycles_run = eng_.cycle;
   run_span.attr("cycles", stats_.cycles_run);
   run_span.attr("injected", stats_.injected);
   run_span.attr("ejected", stats_.ejected);
   run_span.attr("deadlocked", stats_.deadlocked);
-  const double node_cycles = static_cast<double>(torus_.num_nodes()) * cfg_.measure_cycles;
-  stats_.offered_rate = static_cast<double>(measured_injected_) / node_cycles;
-  stats_.accepted_rate = static_cast<double>(measured_ejected_) / node_cycles;
-  stats_.avg_latency = latency_count_ > 0 ? latency_sum_ / latency_count_ : 0.0;
+  const double node_cycles =
+      static_cast<double>(torus_.num_nodes()) * static_cast<double>(stats_.measured_cycles);
+  stats_.offered_rate =
+      node_cycles > 0 ? static_cast<double>(counted_injected_) / node_cycles : 0.0;
+  stats_.accepted_rate =
+      node_cycles > 0 ? static_cast<double>(counted_ejected_) / node_cycles : 0.0;
+  stats_.avg_latency = latency_count > 0
+                           ? static_cast<double>(latency_sum) / static_cast<double>(latency_count)
+                           : 0.0;
   stats_.max_latency = latency_hist_.max();
   stats_.p50_latency = latency_hist_.percentile(0.50);
   stats_.p95_latency = latency_hist_.percentile(0.95);
   stats_.p99_latency = latency_hist_.percentile(0.99);
-  if (stats_.deadlocked) SimMetrics::get().deadlocks.add(1);
   return stats_;
 }
 

@@ -1,0 +1,64 @@
+#include "tcr/sim/soa_state.hpp"
+
+#include "tcr/util/check.hpp"
+
+namespace tcr::sim_detail {
+
+void FlitPool::reset(int stride, int reserve_flits) {
+  TCR_REQUIRE(stride >= 1, "flit path arena needs positive stride");
+  stride_ = stride;
+  live_ = 0;
+  free_head_ = kNoFlit;
+  hop.clear();
+  len.clear();
+  injected_at.clear();
+  measured.clear();
+  next.clear();
+  channels_.clear();
+  vcs_.clear();
+  if (reserve_flits > 0) grow(reserve_flits);
+}
+
+void FlitPool::grow(int min_capacity) {
+  const int old = capacity();
+  int cap = old == 0 ? 64 : old;
+  while (cap < min_capacity) cap *= 2;
+  hop.resize(cap);
+  len.resize(cap);
+  injected_at.resize(cap);
+  measured.resize(cap);
+  next.resize(cap);
+  channels_.resize(static_cast<std::size_t>(cap) * stride_);
+  vcs_.resize(static_cast<std::size_t>(cap) * stride_);
+  // Thread the new slots onto the free list, newest last so allocation
+  // order stays low-to-high (friendlier reuse, deterministic either way).
+  for (int f = cap - 1; f >= old; --f) {
+    next[f] = free_head_;
+    free_head_ = f;
+  }
+}
+
+FlitId FlitPool::alloc() {
+  if (free_head_ == kNoFlit) grow(capacity() + 1);
+  const FlitId f = free_head_;
+  free_head_ = next[f];
+  ++live_;
+  return f;
+}
+
+void FlitPool::release(FlitId f) {
+  next[f] = free_head_;
+  free_head_ = f;
+  --live_;
+}
+
+void VcRings::reset(int num_buffers, int depth) {
+  TCR_REQUIRE(depth >= 1, "VC buffers need at least one slot");
+  TCR_REQUIRE(depth < (1 << 15), "buffer depth exceeds ring index width");
+  depth_ = depth;
+  slots_.assign(static_cast<std::size_t>(num_buffers) * depth, kNoFlit);
+  head_.assign(num_buffers, 0);
+  size_.assign(num_buffers, 0);
+}
+
+}  // namespace tcr::sim_detail

@@ -1,5 +1,7 @@
 #include "tcr/sim/traffic_gen.hpp"
 
+#include <algorithm>
+
 #include "tcr/util/check.hpp"
 
 namespace tcr {
@@ -32,20 +34,57 @@ std::optional<Path> TrafficGen::maybe_inject(int node) {
   return sample_path(node, dst);
 }
 
+void TrafficGen::build_cumulative(int e) {
+  const auto& paths = routing_.paths(e);
+  auto& cum = cumulative_[e];
+  cum.reserve(paths.size());
+  double acc = 0.0;
+  for (const auto& wp : paths) {
+    acc += wp.weight;
+    cum.push_back(acc);
+  }
+}
+
+void TrafficGen::prepare() {
+  if (prepared_) return;
+  const int n = routing_.torus().num_nodes();
+  for (int e = 1; e < n; ++e) {
+    const auto& paths = routing_.paths(e);
+    for (const auto& wp : paths) {
+      max_path_len_ = std::max(max_path_len_, static_cast<int>(wp.path.channels.size()));
+    }
+    if (cumulative_[e].empty() && !paths.empty()) build_cumulative(e);
+  }
+  prepared_ = true;
+}
+
+std::optional<TrafficGen::PathDraw> TrafficGen::draw(int node, Rng& rng) const {
+  if (rng.uniform() >= rate_) return std::nullopt;
+  const Torus& t = routing_.torus();
+  int dst;
+  if (perm_.empty()) {
+    dst = static_cast<int>(rng.below(t.num_nodes()));
+  } else {
+    dst = perm_[node];
+  }
+  if (dst == node) return std::nullopt;
+  const int e = t.offset(node, dst);
+  const auto& paths = routing_.paths(e);
+  const auto& cum = cumulative_[e];
+  TCR_REQUIRE(!cum.empty(), "routing offers no path for requested pair");
+  const double u = rng.uniform() * cum.back();
+  std::size_t idx = std::lower_bound(cum.begin(), cum.end(), u) - cum.begin();
+  if (idx >= paths.size()) idx = paths.size() - 1;
+  return PathDraw{&paths[idx].path, dst};
+}
+
 Path TrafficGen::sample_path(int src, int dst) {
   const Torus& t = routing_.torus();
   const int e = t.offset(src, dst);
   const auto& paths = routing_.paths(e);
   TCR_REQUIRE(!paths.empty(), "routing offers no path for requested pair");
   auto& cum = cumulative_[e];
-  if (cum.empty()) {
-    cum.reserve(paths.size());
-    double acc = 0.0;
-    for (const auto& wp : paths) {
-      acc += wp.weight;
-      cum.push_back(acc);
-    }
-  }
+  if (cum.empty()) build_cumulative(e);
   const double u = rng_.uniform() * cum.back();
   std::size_t idx = std::lower_bound(cum.begin(), cum.end(), u) - cum.begin();
   if (idx >= paths.size()) idx = paths.size() - 1;

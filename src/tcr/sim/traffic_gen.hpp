@@ -1,5 +1,6 @@
 // Packet sources for the flit simulator: Bernoulli injection at a configured
-// rate, destinations drawn from a traffic pattern (uniform or a fixed
+// rate (flits per node per cycle — each node flips one coin per cycle),
+// destinations drawn from a traffic pattern (uniform or a fixed
 // permutation), and paths sampled from an oblivious routing algorithm's
 // canonical distribution (translated to the actual source).
 #pragma once
@@ -25,15 +26,43 @@ class TrafficGen {
   /// (they never enter the network).
   std::optional<Path> maybe_inject(int node);
 
+  /// A draw() result: the canonical (source-0) path sampled for the pair's
+  /// offset — the caller translates it to the actual source — plus the
+  /// destination it was drawn for.
+  struct PathDraw {
+    const Path* canonical = nullptr;
+    int dst = 0;
+  };
+
+  /// Finalize the sampling tables (cumulative path weights for every offset
+  /// and the longest path length on offer). Must be called before draw();
+  /// afterwards the generator is immutable, so draw() is safe to call
+  /// concurrently from many threads with per-caller Rng streams.
+  void prepare();
+
+  /// Stateless variant of maybe_inject for the parallel simulator: the same
+  /// Bernoulli coin / destination / path draws, but consuming the caller's
+  /// `rng` (one independent stream per node keeps injection identical
+  /// regardless of how nodes are sharded across threads). Requires
+  /// prepare(); const and thread-safe.
+  std::optional<PathDraw> draw(int node, Rng& rng) const;
+
+  /// Configured Bernoulli rate, flits per node per cycle.
   double injection_rate() const { return rate_; }
+  const TorusRouting& routing() const { return routing_; }
+  /// Longest path (in hops) the routing offers; valid after prepare().
+  int max_path_len() const { return max_path_len_; }
 
  private:
   Path sample_path(int src, int dst);
+  void build_cumulative(int e);
 
   const TorusRouting& routing_;
   double rate_;
   std::vector<int> perm_;  // empty = uniform
   Rng rng_;
+  bool prepared_ = false;
+  int max_path_len_ = 0;
   // Per-offset cumulative weights for fast path sampling.
   std::vector<std::vector<double>> cumulative_;
 };

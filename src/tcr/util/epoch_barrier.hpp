@@ -1,0 +1,82 @@
+// Sense-reversing spin barrier with a designated coordinator.
+//
+// The sharded flit simulator (tcr::sim) advances all shards in lock-step
+// cycles: every participant runs its shard's phase, everyone synchronizes,
+// the coordinator applies the serial bookkeeping (mailbox-era stats, the
+// deadlock watchdog, phase transitions), and the next phase begins. A
+// std::barrier's completion function runs on an arbitrary thread; here the
+// serial section must run on the *coordinator* (the thread that owns the
+// trace spans and the SimStats), hence this dedicated primitive:
+//
+//   worker threads:   barrier.arrive_and_wait();
+//   coordinator:      barrier.coordinate(serial_fn);   // or coordinate()
+//
+// coordinate() blocks until every other participant has arrived, runs the
+// serial function while they spin, then releases all of them at once. The
+// release publishes the coordinator's writes (generation bump with release
+// semantics against the workers' acquire loads), and the workers' arrivals
+// publish their writes to the coordinator (acq_rel fetch_add against an
+// acquire load) — so data written in one phase is safely read in the next
+// with no additional synchronization.
+//
+// Workers spin with a yield fallback: simulator cycles are microseconds, so
+// parking on a condition variable per cycle would dominate the epoch cost.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "tcr/util/check.hpp"
+
+namespace tcr {
+
+class EpochBarrier {
+ public:
+  /// `participants` counts every thread, coordinator included.
+  explicit EpochBarrier(int participants) : participants_(participants) {
+    TCR_REQUIRE(participants >= 1, "barrier needs at least one participant");
+  }
+
+  EpochBarrier(const EpochBarrier&) = delete;
+  EpochBarrier& operator=(const EpochBarrier&) = delete;
+
+  int participants() const { return participants_; }
+
+  /// Non-coordinator arrival: signal and spin until the coordinator releases
+  /// this generation.
+  void arrive_and_wait() {
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    arrived_.fetch_add(1, std::memory_order_acq_rel);
+    int spins = 0;
+    while (generation_.load(std::memory_order_acquire) == gen) {
+      if (++spins > kSpinsBeforeYield) std::this_thread::yield();
+    }
+  }
+
+  /// Coordinator arrival: wait for everyone else, run `fn` alone, release.
+  template <typename F>
+  void coordinate(F&& fn) {
+    int spins = 0;
+    while (arrived_.load(std::memory_order_acquire) != participants_ - 1) {
+      if (++spins > kSpinsBeforeYield) std::this_thread::yield();
+    }
+    fn();
+    arrived_.store(0, std::memory_order_relaxed);
+    generation_.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Coordinator arrival with no serial section.
+  void coordinate() {
+    coordinate([] {});
+  }
+
+ private:
+  static constexpr int kSpinsBeforeYield = 4096;
+
+  const int participants_;
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<int> arrived_{0};
+};
+
+}  // namespace tcr

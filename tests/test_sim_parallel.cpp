@@ -1,0 +1,266 @@
+// Parallel (sharded) simulator: bitwise equality of every statistic across
+// shard and thread counts, watchdog and fault-window behavior under
+// sharding, mailbox handoffs under real threads (the TSan job runs the
+// ShardedSimTsan suite), and the measurement-window accounting contract —
+// partial windows are flushed on a natural phase end but discarded on
+// cancellation, so cancelled runs report the same rates an uninterrupted
+// run would over the same full-window prefix.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "tcr/fault/fault.hpp"
+#include "tcr/guard/guard.hpp"
+#include "tcr/metrics/worst_case.hpp"
+#include "tcr/routing/dor.hpp"
+#include "tcr/sim/simulator.hpp"
+#include "tcr/traffic/patterns.hpp"
+
+namespace tcr {
+namespace {
+
+// Bitwise comparison of two runs. Integer fields are exact by construction;
+// the doubles are exact too because every input to them (window counts,
+// latency sums, histogram bucket counts) is integral and accumulated in a
+// shard-count-independent order — that is the determinism claim under test.
+void expect_same_stats(const SimStats& a, const SimStats& b, const std::string& what) {
+  EXPECT_EQ(a.deadlocked, b.deadlocked) << what;
+  EXPECT_EQ(a.cancelled, b.cancelled) << what;
+  EXPECT_EQ(a.injected, b.injected) << what;
+  EXPECT_EQ(a.ejected, b.ejected) << what;
+  EXPECT_EQ(a.cycles_run, b.cycles_run) << what;
+  EXPECT_EQ(a.measured_cycles, b.measured_cycles) << what;
+  EXPECT_EQ(a.flit_cycles, b.flit_cycles) << what;
+  EXPECT_EQ(a.offered_rate, b.offered_rate) << what;
+  EXPECT_EQ(a.accepted_rate, b.accepted_rate) << what;
+  EXPECT_EQ(a.avg_latency, b.avg_latency) << what;
+  EXPECT_EQ(a.max_latency, b.max_latency) << what;
+  EXPECT_EQ(a.p50_latency, b.p50_latency) << what;
+  EXPECT_EQ(a.p95_latency, b.p95_latency) << what;
+  EXPECT_EQ(a.p99_latency, b.p99_latency) << what;
+  ASSERT_EQ(a.windows.size(), b.windows.size()) << what;
+  for (std::size_t i = 0; i < a.windows.size(); ++i) {
+    EXPECT_EQ(a.windows[i].cycles, b.windows[i].cycles) << what << " window " << i;
+    EXPECT_EQ(a.windows[i].injected, b.windows[i].injected) << what << " window " << i;
+    EXPECT_EQ(a.windows[i].ejected, b.windows[i].ejected) << what << " window " << i;
+  }
+}
+
+SimConfig matrix_config() {
+  SimConfig cfg;
+  cfg.vcs = 4;
+  cfg.warmup_cycles = 150;
+  cfg.measure_cycles = 900;
+  cfg.drain_cycles = 1500;
+  cfg.stats_window = 200;
+  cfg.deadlock_threshold = 600;
+  return cfg;
+}
+
+// The headline determinism property: for k in {4, 8} and uniform / tornado /
+// adversarial worst-case traffic, every shard count produces statistics
+// bitwise identical to the unsharded run — windows included, so even the
+// per-window injection/ejection sampling is invariant.
+TEST(ShardMatrix, ShardCountNeverChangesAnyStatistic) {
+  for (const int k : {4, 8}) {
+    const Torus t(k);
+    const TorusRouting dor = make_dor(t);
+    dor.load_table();
+    const std::vector<std::pair<std::string, std::vector<int>>> patterns = {
+        {"uniform", {}},
+        {"tornado", tornado_permutation(t)},
+        {"worst-case", worst_case(dor).permutation},
+    };
+    for (const auto& [name, perm] : patterns) {
+      SimConfig cfg = matrix_config();
+      const SimStats base = simulate(dor, 0.45, perm, cfg);
+      EXPECT_GT(base.ejected, 0) << "k=" << k << " " << name;
+      for (const int shards : {2, 4, 7}) {
+        cfg.shards = shards;
+        const SimStats sharded = simulate(dor, 0.45, perm, cfg);
+        expect_same_stats(base, sharded,
+                          "k=" + std::to_string(k) + " " + name + " shards=" +
+                              std::to_string(shards));
+      }
+    }
+  }
+}
+
+// The deadlock watchdog must honor its threshold under sharding exactly as
+// it does serially: with every link down nothing ever moves, and the
+// coordinator's serial tick fires the watchdog right after the configured
+// number of quiet cycles regardless of thread/shard decomposition.
+TEST(ShardedSim, WatchdogFiresAtThresholdUnderSharding) {
+  const Torus t(4);
+  const TorusRouting dor = make_dor(t);
+  fault::SimFaultPlan all_down;
+  for (int c = 0; c < t.num_channels(); ++c) {
+    fault::LinkFault f;
+    f.channel = c;
+    f.from_cycle = 0;
+    f.until_cycle = 1L << 30;
+    all_down.links.push_back(f);
+  }
+  SimConfig cfg;
+  cfg.vcs = 2;
+  cfg.warmup_cycles = 700;
+  cfg.measure_cycles = 100;
+  cfg.drain_cycles = 100;
+  cfg.deadlock_threshold = 120;
+  cfg.faults = &all_down;
+  cfg.threads = 2;
+  cfg.shards = 5;
+  const auto stats = simulate(dor, 1.0, {}, cfg);
+  EXPECT_TRUE(stats.deadlocked);
+  EXPECT_GE(stats.cycles_run, 120);
+  EXPECT_LE(stats.cycles_run, 122);
+}
+
+// A fault plan whose link-down window covers part of the run must leave
+// identical fingerprints (counts, rates, latencies) for serial and sharded
+// execution — the per-cycle fault lookups happen inside the phase kernels,
+// so this pins that they are applied on the same cycles in both modes.
+TEST(ShardedSim, FaultWindowsMatchSerialBitwise) {
+  const Torus t(4);
+  const TorusRouting dor = make_dor(t);
+  fault::SimFaultPlan plan;
+  for (const int c : {3, 17, 40, 41, 55}) {
+    fault::LinkFault f;
+    f.channel = c;
+    f.from_cycle = 200;
+    f.until_cycle = 600;
+    plan.links.push_back(f);
+  }
+  SimConfig cfg = matrix_config();
+  cfg.faults = &plan;
+  const SimStats base = simulate(dor, 0.4, {}, cfg);
+  EXPECT_GT(base.ejected, 0);
+  cfg.shards = 4;
+  const SimStats sharded = simulate(dor, 0.4, {}, cfg);
+  expect_same_stats(base, sharded, "faulted shards=4");
+}
+
+// Real worker threads exchanging flits through the (src, dst)-shard
+// mailboxes around the epoch barriers. The CI thread-sanitizer job runs
+// this suite (--gtest_filter='ShardedSimTsan.*') to certify the handoff
+// protocol data-race-free; the equality check doubles as a correctness
+// pin under genuine concurrency.
+TEST(ShardedSimTsan, MailboxHandoffsAreRaceFreeAndDeterministic) {
+  const Torus t(4);
+  const TorusRouting dor = make_dor(t);
+  SimConfig cfg;
+  cfg.vcs = 4;
+  cfg.warmup_cycles = 100;
+  cfg.measure_cycles = 400;
+  cfg.drain_cycles = 800;
+  cfg.stats_window = 100;
+  cfg.deadlock_threshold = 500;
+  const SimStats base = simulate(dor, 0.6, tornado_permutation(t), cfg);
+  EXPECT_GT(base.ejected, 0);
+  cfg.threads = 4;
+  cfg.shards = 4;
+  const SimStats threaded = simulate(dor, 0.6, tornado_permutation(t), cfg);
+  expect_same_stats(base, threaded, "threads=4 shards=4");
+}
+
+// Natural end of the measurement phase mid-window: the short final window
+// is flushed (its cycles really were measured), so the rate denominator is
+// exactly measure_cycles.
+TEST(WindowAccounting, NaturalEndFlushesShortFinalWindow) {
+  const Torus t(4);
+  const TorusRouting dor = make_dor(t);
+  SimConfig cfg;
+  cfg.warmup_cycles = 100;
+  cfg.measure_cycles = 300;
+  cfg.drain_cycles = 500;
+  cfg.stats_window = 250;
+  const SimStats s = simulate(dor, 0.3, {}, cfg);
+  ASSERT_EQ(s.windows.size(), 2u);
+  EXPECT_EQ(s.windows[0].cycles, 250);
+  EXPECT_EQ(s.windows[1].cycles, 50);
+  EXPECT_EQ(s.measured_cycles, 300);
+  long injected = 0;
+  for (const auto& w : s.windows) injected += w.injected;
+  EXPECT_EQ(s.offered_rate,
+            static_cast<double>(injected) / (static_cast<double>(t.num_nodes()) * 300.0));
+}
+
+// Zero-length phases fall through without simulating a stray cycle, at any
+// shard count.
+TEST(WindowAccounting, ZeroLengthPhasesAreExactNoOps) {
+  const Torus t(4);
+  const TorusRouting dor = make_dor(t);
+  for (const int shards : {0, 3}) {
+    SimConfig cfg;
+    cfg.warmup_cycles = 0;
+    cfg.measure_cycles = 0;
+    cfg.drain_cycles = 0;
+    cfg.shards = shards;
+    const SimStats s = simulate(dor, 0.3, {}, cfg);
+    EXPECT_EQ(s.cycles_run, 0);
+    EXPECT_EQ(s.injected, 0);
+    EXPECT_TRUE(s.windows.empty());
+    EXPECT_EQ(s.offered_rate, 0.0);
+
+    cfg.warmup_cycles = 0;
+    cfg.measure_cycles = 120;
+    cfg.stats_window = 250;
+    const SimStats m = simulate(dor, 0.3, {}, cfg);
+    ASSERT_EQ(m.windows.size(), 1u);
+    EXPECT_EQ(m.windows[0].cycles, 120);
+    EXPECT_EQ(m.measured_cycles, 120);
+  }
+}
+
+// The regression this file exists to pin: a deadline/cancel stopping the
+// run mid-window must not dilute the rates with a partially-measured
+// window. The cancelled run's windows must be exactly the prefix an
+// uninterrupted run (same seed, same schedule) reports, every kept window
+// full-length, and the offered/accepted rates recomputable from those
+// windows alone.
+TEST(WindowAccounting, CancelMidWindowMatchesUninterruptedPrefix) {
+  const Torus t(4);
+  const TorusRouting dor = make_dor(t);
+  SimConfig cfg;
+  cfg.vcs = 4;
+  cfg.warmup_cycles = 64;
+  cfg.measure_cycles = 40000;
+  cfg.drain_cycles = 0;
+  cfg.stats_window = 128;
+  const SimStats full = simulate(dor, 0.3, {}, cfg);
+
+  guard::RunBudget budget;
+  budget.deadline_seconds = 0.015;
+  guard::CancelToken token(budget);
+  cfg.cancel = &token;
+  const SimStats cut = simulate(dor, 0.3, {}, cfg);
+  ASSERT_TRUE(cut.cancelled);
+  EXPECT_FALSE(cut.note.empty());
+  if (cut.windows.empty()) {
+    GTEST_SKIP() << "deadline fired before the first full window on this machine";
+  }
+
+  // Every kept window is full-length: the partial one was discarded.
+  for (const auto& w : cut.windows) EXPECT_EQ(w.cycles, 128);
+  EXPECT_EQ(cut.measured_cycles, static_cast<long>(cut.windows.size()) * 128);
+
+  // Identical evolution until the stop: the kept windows are a prefix of
+  // the uninterrupted run's.
+  ASSERT_LE(cut.windows.size(), full.windows.size());
+  long injected = 0, ejected = 0;
+  for (std::size_t i = 0; i < cut.windows.size(); ++i) {
+    EXPECT_EQ(cut.windows[i].cycles, full.windows[i].cycles) << "window " << i;
+    EXPECT_EQ(cut.windows[i].injected, full.windows[i].injected) << "window " << i;
+    EXPECT_EQ(cut.windows[i].ejected, full.windows[i].ejected) << "window " << i;
+    injected += cut.windows[i].injected;
+    ejected += cut.windows[i].ejected;
+  }
+  const double node_cycles =
+      static_cast<double>(t.num_nodes()) * static_cast<double>(cut.measured_cycles);
+  EXPECT_EQ(cut.offered_rate, static_cast<double>(injected) / node_cycles);
+  EXPECT_EQ(cut.accepted_rate, static_cast<double>(ejected) / node_cycles);
+}
+
+}  // namespace
+}  // namespace tcr

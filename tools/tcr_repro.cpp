@@ -114,7 +114,7 @@ std::vector<BenchSpec> preset_benches(const std::string& preset) {
   const BenchSpec fig5{"fig5_interpolation", {}, true, false, true, true};
   const BenchSpec fig6{"fig6_avg_tradeoff", {}, true, true, true, true};
   const BenchSpec avgcase{"avgcase_approx", {}, true, true, false, false};
-  const BenchSpec sim{"sim_saturation", {}, true, false, false, false};
+  const BenchSpec sim{"sim_saturation", {}, true, false, true, false};
   const BenchSpec ablation{"ablation_solver", {}, false, false, false, true};
 
   auto with_args = [](BenchSpec spec, std::vector<std::string> args) {
