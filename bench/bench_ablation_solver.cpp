@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   bench::JsonOutput jout(cli, "ablation_solver",
                          obs::Json::object().set("kmin", kmin).set("kmax", kmax));
   bench::TraceOutput trace(cli);
+  bench::HeartbeatOutput heartbeat(cli, "ablation_solver", nullptr);
 
   bench::banner("Ablation: symmetry folding and anti-degeneracy perturbation",
                 "worst-case design LP (8); all configs must agree on the optimum");

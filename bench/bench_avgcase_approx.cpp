@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   bench::JsonOutput jout(cli, "avgcase_approx",
                          obs::Json::object().set("k", k).set("samples", count).set("kind", kind));
   bench::TraceOutput trace(cli);
+  bench::HeartbeatOutput heartbeat(cli, "avgcase_approx", nullptr);
 
   bench::banner("Section 3.3: quality of the linear average-case approximation",
                 "|X| = " + std::to_string(count) + ", sampler = " + kind);

@@ -17,6 +17,7 @@
 #include "tcr/lp/model.hpp"
 #include "tcr/lp/simplex.hpp"
 #include "tcr/sim/simulator.hpp"
+#include "tcr/telemetry/telemetry.hpp"
 #include "tcr/obs/json.hpp"
 #include "tcr/obs/registry.hpp"
 #include "tcr/perf/perf.hpp"
@@ -228,6 +229,55 @@ class RunControl {
   std::unique_ptr<SweepResume> resume_;
   guard::JournalWriter journal_;
   std::string journal_path_;
+};
+
+/// Live telemetry behind every bench's `--heartbeat[=path]` flag
+/// (tcr::telemetry): while the run is in flight, heartbeat records — phase,
+/// sweep/sim progress, guard budget state, obs counter deltas — are
+/// appended to a crash-safe stream that `tcr-top --follow` renders live.
+///
+///   --heartbeat [PATH]        enable; PATH defaults to <bench>.hb
+///   --heartbeat-interval S    seconds between heartbeats (default 0.5)
+///
+/// Construct after RunControl and pass its token so heartbeats carry
+/// deadline/iteration/RSS budget state and the stop reason. Destruction
+/// emits a final heartbeat and closes the stream; a killed run instead
+/// leaves at most one torn record, which readers report as truncation.
+/// Sampling is cooperative at deterministic sites, so the flag never
+/// changes results — only wall-clock (see src/tcr/telemetry/telemetry.hpp).
+class HeartbeatOutput {
+ public:
+  HeartbeatOutput(const Cli& cli, const std::string& bench_name,
+                  const guard::CancelToken* token = nullptr) {
+    if (!cli.has("heartbeat")) return;
+    std::string path = cli.get_string("heartbeat", "");
+    if (path.empty()) path = bench_name + ".hb";
+    telemetry::HeartbeatConfig cfg;
+    cfg.path = path;
+    cfg.interval_seconds = cli.get_double("heartbeat-interval", 0.5);
+    cfg.bench = bench_name;
+    cfg.token = token;
+    std::string error;
+    if (!telemetry::start(cfg, &error)) {
+      std::cerr << "error: --heartbeat: " << error << "\n";
+      std::exit(1);
+    }
+    active_ = true;
+    std::cout << "heartbeat stream: " << path << " (interval "
+              << cfg.interval_seconds << " s)\n";
+  }
+
+  HeartbeatOutput(const HeartbeatOutput&) = delete;
+  HeartbeatOutput& operator=(const HeartbeatOutput&) = delete;
+
+  ~HeartbeatOutput() {
+    if (active_) telemetry::stop();
+  }
+
+  bool enabled() const { return active_; }
+
+ private:
+  bool active_ = false;
 };
 
 inline void banner(const std::string& title, const std::string& paper_ref) {

@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
                              .set("flow_crash", opts.flow_crash)
                              .set("threads", threads));
   bench::TraceOutput trace(cli);
+  bench::HeartbeatOutput heartbeat(cli, "fig1_wc_tradeoff", &rc.token());
 
   bench::banner("Figure 1: worst-case throughput vs locality, " + std::to_string(k) +
                     "-ary 2-cube",

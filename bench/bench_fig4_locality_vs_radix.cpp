@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
                              .set("skip_2turn", cli.has("skip-2turn"))
                              .set("skip_optimal", cli.has("skip-optimal")));
   bench::TraceOutput trace(cli);
+  bench::HeartbeatOutput heartbeat(cli, "fig4_locality_vs_radix", nullptr);
 
   bench::banner("Figure 4: locality of worst-case-optimal algorithms vs radix",
                 "IVAL closed form; 2TURN path LP; optimal arc LP");

@@ -59,6 +59,7 @@ int main(int argc, char** argv) {
                              .set("curve_points", cli.get_int("curve-points", 9))
                              .set("skip_curve", cli.has("skip-curve")));
   bench::TraceOutput trace(cli);
+  bench::HeartbeatOutput heartbeat(cli, "fig5_interpolation", nullptr);
 
   bench::banner("Figure 5: interpolated routing algorithms, " + std::to_string(k) +
                     "-ary 2-cube",

@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
                              .set("skip_curve", cli.has("skip-curve"))
                              .set("skip_design", cli.has("skip-design")));
   bench::TraceOutput trace(cli);
+  bench::HeartbeatOutput heartbeat(cli, "fig6_avg_tradeoff", &rc.token());
 
   bench::banner("Figure 6: average-case throughput vs locality, " + std::to_string(k) +
                     "-ary 2-cube",

@@ -24,6 +24,7 @@
 #include "tcr/routing/dor.hpp"
 #include "tcr/routing/valiant.hpp"
 #include "tcr/sim/sharding.hpp"
+#include "tcr/telemetry/telemetry.hpp"
 #include "tcr/sim/simulator.hpp"
 #include "tcr/trace/tracer.hpp"
 #include "tcr/traffic/sampler.hpp"
@@ -130,6 +131,36 @@ void BM_ObsHistogramRecord(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ObsHistogramRecord);
+
+// The simulator-ejection histogram cost: record() with the packet-latency
+// geometry (least 1.0, growth 1.2 — 95 narrow buckets, so the old
+// per-record std::log was the dominant term). The walk covers the whole
+// bucket range to defeat branch-predictor lock-in on one boundary. The
+// boundary-table record() should beat the historical log-based one; the
+// pr10 BENCH_history entry pins the level.
+void BM_HistogramRecord(benchmark::State& state) {
+  auto& h = obs::Registry::instance().histogram("bench.obs.latency_hist", 1.0, 1.2);
+  double v = 1.0;
+  for (auto _ : state) {
+    h.record(v);
+    v = v < 3e7 ? v * 1.37 : 1.0;  // ~every bucket of the 1.2-growth range
+  }
+}
+BENCHMARK(BM_HistogramRecord);
+
+// Disabled-heartbeat cost: what every telemetry sampling site (the simplex
+// safepoint, sweep point boundaries, the sim cancel cadence) pays when no
+// --heartbeat flag is given — one relaxed atomic load and a
+// predicted-not-taken branch, same budget as BM_TraceSpanDisabled. CI's
+// overhead guard pins the ratio to BM_ObsScopedTimerDisabled.
+void BM_TelemetryPollDisabled(benchmark::State& state) {
+  telemetry::stop();
+  for (auto _ : state) {
+    telemetry::poll();
+    benchmark::DoNotOptimize(&state);
+  }
+}
+BENCHMARK(BM_TelemetryPollDisabled);
 
 void BM_ObsScopedTimerDisabled(benchmark::State& state) {
   auto& tm = obs::Registry::instance().timer("bench.obs.timer");

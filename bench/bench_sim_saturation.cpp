@@ -68,8 +68,13 @@ int main(int argc, char** argv) {
                   .set("threads", threads_requested);
   if (!algo_filter.empty()) meta.set("algo", algo_filter);
   if (!pattern_filter.empty()) meta.set("pattern", pattern_filter);
+  // Heartbeat-instrumented runs land under their own perf config so the
+  // tcr-perf gate compares the heartbeat-on smoke against its own history,
+  // not the uninstrumented run's.
+  if (cli.has("heartbeat")) meta.set("heartbeat", true);
   bench::JsonOutput jout(cli, "sim_saturation", std::move(meta));
   bench::TraceOutput trace(cli);
+  bench::HeartbeatOutput heartbeat(cli, "sim_saturation", &rc.token());
 
   bench::banner("Flit-level simulator: measured vs analytic saturation throughput",
                 "extension experiment; k = " + std::to_string(k) + ", threads = " +

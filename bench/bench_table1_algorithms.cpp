@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
                              .set("design_samples", design_samples)
                              .set("skip_design", cli.has("skip-design")));
   bench::TraceOutput trace(cli);
+  bench::HeartbeatOutput heartbeat(cli, "table1_algorithms", nullptr);
 
   bench::banner("Table 1 / Figure 1 & 6 algorithm points — " + std::to_string(k) +
                     "-ary 2-cube",

@@ -7,6 +7,7 @@
 #include "tcr/guard/journal.hpp"
 #include "tcr/perf/perf.hpp"
 #include "tcr/routing/interpolate.hpp"
+#include "tcr/telemetry/telemetry.hpp"
 #include "tcr/trace/tracer.hpp"
 #include "tcr/util/check.hpp"
 
@@ -108,6 +109,11 @@ std::vector<TradeoffPoint> sweep(const Torus& torus, DesignObjective objective,
   // covers the serial and pooled execution paths identically (ThreadPool::
   // submit also hands the ambient context over for everything else spawned
   // inside a chain).
+  // Announce the sweep to any live heartbeat session. Telemetry calls only
+  // read sweep state, so --heartbeat cannot change the point series.
+  telemetry::set_phase("sweep");
+  telemetry::sweep_begin(n);
+
   trace::Span sweep_span("sweep");
   sweep_span.attr("points", n);
   sweep_span.attr("chains", chains);
@@ -140,6 +146,8 @@ std::vector<TradeoffPoint> sweep(const Torus& torus, DesignObjective objective,
           out[i] = it->second.first;
           out[i].provenance = "resumed";
           if (sweep_cfg.warm_start) warm = it->second.second;
+          telemetry::sweep_point_done(out[i].warm_start == "accepted" ||
+                                      out[i].warm_start == "repaired");
           continue;
         }
       }
@@ -171,6 +179,12 @@ std::vector<TradeoffPoint> sweep(const Torus& torus, DesignObjective objective,
       // the resumed run must recompute it from the same warm basis.
       if (sweep_cfg.journal != nullptr && res.status != lp::Status::Cancelled) {
         sweep_cfg.journal->append(SweepCheckpoint::encode(i, out[i], res.basis));
+      }
+      // Progress ticks mirror the journal condition exactly, so a heartbeat
+      // reader can equate progress.done with the checkpoint record count.
+      if (res.status != lp::Status::Cancelled) {
+        telemetry::sweep_point_done(res.warm_start == "accepted" ||
+                                    res.warm_start == "repaired");
       }
       point_span.attr("index", i);
       point_span.attr("locality", localities[i]);

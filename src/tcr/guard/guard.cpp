@@ -1,6 +1,7 @@
 #include "tcr/guard/guard.hpp"
 
 #include <chrono>
+#include <limits>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <signal.h>
@@ -71,6 +72,11 @@ bool CancelToken::check() noexcept {
     }
   }
   return false;
+}
+
+double CancelToken::deadline_remaining_seconds() const noexcept {
+  if (deadline_ns_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  return 1e-9 * static_cast<double>(deadline_ns_ - steady_now_ns());
 }
 
 void CancelToken::charge_iterations(long n) noexcept {

@@ -91,6 +91,11 @@ class CancelToken {
 
   const RunBudget& budget() const noexcept { return budget_; }
 
+  /// Seconds until the armed wall-clock deadline fires, measured from now
+  /// (negative once past); NaN when no deadline is armed. For telemetry
+  /// heartbeats — same arm-before-workers caveat as arm().
+  double deadline_remaining_seconds() const noexcept;
+
   /// Human-readable stop diagnosis ("deadline of 2.5s exceeded", ...);
   /// empty while the token has not fired. Not async-signal-safe.
   std::string note() const;

@@ -15,13 +15,12 @@ namespace tcr::guard {
 
 namespace {
 
-constexpr char kMagic[8] = {'T', 'C', 'R', 'J', 'N', 'L', '0', '1'};
-constexpr std::size_t kMagicSize = sizeof(kMagic);
-constexpr std::size_t kHeaderSize = 8;  // u32 length + u32 crc
-
-// Journals hold sweep points (a few KB each); a length beyond this is not a
-// record, it is garbage read as a length.
-constexpr std::uint32_t kMaxRecordSize = 1u << 30;
+// Framing constants live in the header (shared with telemetry's stream
+// reader); keep the short local names the scan/write code reads naturally.
+constexpr const char* kMagic = kJournalMagic;
+constexpr std::size_t kMagicSize = kJournalMagicSize;
+constexpr std::size_t kHeaderSize = kJournalHeaderSize;
+constexpr std::uint32_t kMaxRecordSize = kJournalMaxRecordSize;
 
 std::uint32_t load_u32le(const unsigned char* p) {
   return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |

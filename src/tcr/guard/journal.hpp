@@ -33,6 +33,15 @@ namespace tcr::guard {
 /// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of a byte range.
 std::uint32_t crc32(const void* data, std::size_t size) noexcept;
 
+// Framing constants, shared with incremental readers of the same format
+// (telemetry/stream.hpp tails heartbeat streams written in journal frames).
+inline constexpr char kJournalMagic[8] = {'T', 'C', 'R', 'J', 'N', 'L', '0', '1'};
+inline constexpr std::size_t kJournalMagicSize = sizeof(kJournalMagic);
+inline constexpr std::size_t kJournalHeaderSize = 8;  // u32 length + u32 crc
+/// Records hold sweep points or heartbeat JSON (a few KB each); a length
+/// beyond this is not a record, it is garbage read as a length.
+inline constexpr std::uint32_t kJournalMaxRecordSize = 1u << 30;
+
 /// Everything read back from a journal file.
 struct JournalContents {
   bool ok = false;              ///< false => error is set, records unusable

@@ -16,6 +16,7 @@
 #include "tcr/lp/scaling.hpp"
 #include "tcr/lp/standard_form.hpp"
 #include "tcr/obs/registry.hpp"
+#include "tcr/telemetry/telemetry.hpp"
 #include "tcr/trace/tracer.hpp"
 #include "tcr/util/check.hpp"
 #include "tcr/util/rng.hpp"
@@ -849,8 +850,13 @@ class RevisedSimplex {
   // deadline/RSS/signal (one predicted branch per iteration when no token
   // is armed). Charging the delta instead of a fixed window keeps the
   // account exact across phase boundaries and iteration-count rewinds.
+  // Also the telemetry sampling site: heartbeats piggyback on the same
+  // cadence (a relaxed flag load when --heartbeat is off), and the poll
+  // only reads solver state, so it cannot perturb the pivot sequence.
   bool cancel_safepoint() {
-    if (opt_.cancel == nullptr || (iters_ & 15) != 0) return false;
+    if ((iters_ & 15) != 0) return false;
+    telemetry::poll();
+    if (opt_.cancel == nullptr) return false;
     charge_pending_iterations();
     return opt_.cancel->check();
   }
@@ -1004,6 +1010,12 @@ class RevisedSimplex {
         flush_degenerate_run();
         return Status::Cancelled;
       }
+
+      // Solver progress for heartbeats, at a coarser cadence than the
+      // safepoint: the objective costs a pass over the basics, so only
+      // compute it when a heartbeat session is live.
+      if (telemetry::enabled() && (iters_ & 255) == 0)
+        telemetry::solver_progress(iters_, objective_of(cost));
 
       {
         obs::ScopedTimer t(met_.t_btran, timed);
@@ -1303,6 +1315,8 @@ class RevisedSimplex {
       ++dual_iters_;
       if (cancel_safepoint()) return Status::Cancelled;
       if (dual_iters_ > stall_cap) return Status::Numerical;
+      if (telemetry::enabled() && (iters_ & 255) == 0)
+        telemetry::solver_progress(iters_, objective_of(cost));
 
       {
         obs::ScopedTimer t(met_.t_btran, timed);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "tcr/util/check.hpp"
 
@@ -34,12 +35,51 @@ Histogram::Histogram(double least, double growth)
     : least_(least), growth_(growth), inv_log_growth_(1.0 / std::log(growth)) {
   TCR_REQUIRE(least > 0.0 && growth > 1.0, "histogram needs least > 0 and growth > 1");
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+
+  // Precompute the bucket boundaries of the reference mapping
+  //   index(v) = clamp(1 + floor(log(v / least) / log(growth)), 1, 95)
+  // as exact flip points: bound_[k] is the smallest double the reference
+  // sends to bucket >= k+1. A closed-form `least * pow(growth, k)` can
+  // disagree with the floor(log(...)) by one ulp at the boundary and shift
+  // golden-gated percentiles, so each flip point is found by bisecting the
+  // reference predicate itself (ctor-time only; ~60 log() calls per
+  // boundary). Histogram.BucketIndexMatchesLogFormula pins the equality.
+  const auto reference_at_least = [&](double v, int k) {
+    // True iff the unclamped reference index of v (>= least) is >= k.
+    return 1 + static_cast<int>(std::floor(std::log(v / least_) * inv_log_growth_)) >= k;
+  };
+  bound_[0] = least_;  // bucket 1 starts exactly at least (the v >= least test)
+  for (int k = 1; k < kNumBuckets - 1; ++k) {
+    const double est = least_ * std::pow(growth_, k);
+    double lo = est, hi = est;
+    while (reference_at_least(lo, k + 1)) lo *= 0.5;
+    while (!reference_at_least(hi, k + 1)) hi *= 2.0;
+    // Invariant: reference(lo) < k+1 <= reference(hi); shrink to adjacent
+    // doubles and the flip point is hi.
+    while (std::nextafter(lo, hi) < hi) {
+      const double mid = lo + 0.5 * (hi - lo);
+      if (reference_at_least(mid, k + 1)) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    bound_[k] = hi;
+  }
+  for (int k = kNumBuckets - 1; k < kPaddedBuckets; ++k) {
+    bound_[k] = std::numeric_limits<double>::infinity();
+  }
 }
 
 int Histogram::bucket_index(double v) const noexcept {
   if (!(v >= least_)) return 0;  // also catches NaN and negatives
-  const int i = 1 + static_cast<int>(std::floor(std::log(v / least_) * inv_log_growth_));
-  return std::clamp(i, 1, kNumBuckets - 1);
+  // Branchless binary search: count the boundaries <= v. The +inf padding
+  // makes every probe in-range, so the loop compiles to seven cmovs.
+  int base = 0;
+  for (int step = kPaddedBuckets / 2; step != 0; step >>= 1) {
+    base += bound_[base + step - 1] <= v ? step : 0;
+  }
+  return base < kNumBuckets ? base : kNumBuckets - 1;
 }
 
 double Histogram::bucket_lower(int i) const noexcept {

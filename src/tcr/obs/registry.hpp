@@ -104,6 +104,9 @@ class Timer {
 class Histogram {
  public:
   static constexpr int kNumBuckets = 96;
+  /// Boundary table padded to a power of two so bucket_index can run a
+  /// fixed-trip branchless binary search with no bounds checks.
+  static constexpr int kPaddedBuckets = 128;
 
   explicit Histogram(double least = 1e-9, double growth = 2.0);
 
@@ -134,6 +137,15 @@ class Histogram {
   double least_;
   double growth_;
   double inv_log_growth_;
+  /// bound_[k] is the smallest double that maps to bucket k+1 under the
+  /// original `1 + floor(log(v/least) / log(growth))` formula (computed by
+  /// flip-point bisection in the ctor, so the table lookup is bit-identical
+  /// to the log — the simulator's golden latency percentiles depend on the
+  /// exact mapping); entries past bucket 95 are +inf padding. record() then
+  /// costs a branchless 7-step search instead of a std::log per sample —
+  /// the simulator ejection path records into two histograms per flit
+  /// (BM_HistogramRecord measures the win).
+  double bound_[kPaddedBuckets];
   std::atomic<std::int64_t> buckets_[kNumBuckets];
   std::atomic<std::int64_t> count_{0};
   std::atomic<double> sum_{0.0};

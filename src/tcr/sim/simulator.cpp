@@ -7,6 +7,7 @@
 #include <string>
 
 #include "tcr/fault/fault.hpp"
+#include "tcr/telemetry/telemetry.hpp"
 #include "tcr/util/check.hpp"
 #include "tcr/util/epoch_barrier.hpp"
 #include "tcr/util/thread_pool.hpp"
@@ -141,6 +142,7 @@ void Simulator::start_phase(Phase p) {
     steps_in_phase_ = 0;
     switch (p) {
       case Phase::Warmup:
+        telemetry::set_phase("sim.warmup");
         phase_span_ = std::make_unique<trace::Span>("sim.warmup");
         begin_epoch();
         if (cfg_.warmup_cycles > 0) return;
@@ -149,6 +151,7 @@ void Simulator::start_phase(Phase p) {
         p = Phase::Measure;
         break;
       case Phase::Measure:
+        telemetry::set_phase("sim.measure");
         phase_span_ = std::make_unique<trace::Span>("sim.measure");
         begin_epoch();
         eng_.measuring = true;
@@ -161,6 +164,7 @@ void Simulator::start_phase(Phase p) {
         break;
       case Phase::Drain:
         eng_.injecting = false;
+        telemetry::set_phase("sim.drain");
         phase_span_ = std::make_unique<trace::Span>("sim.drain");
         begin_epoch();
         if (cfg_.drain_cycles > 0 && eng_.live_flits() > 0) return;
@@ -221,6 +225,17 @@ void Simulator::tick() {
   }
   // Run-control safepoint: one flag poll (plus deadline/RSS evaluation)
   // every 256 cycles — far below the cost of a single simulated cycle.
+  // Heartbeats share the cadence: tick() runs on the coordinator (at epoch
+  // barriers in the parallel loop), so the shard counters are quiescent
+  // here, and the poll only reads them — simulated state is untouched.
+  if (((steps_in_phase_ - 1) & 255) == 0 && telemetry::enabled()) {
+    std::int64_t injected = 0, ejected = 0;
+    for (const auto& sh : eng_.shards) {
+      injected += sh.injected;
+      ejected += sh.ejected;
+    }
+    telemetry::sim_progress(epoch_index_, eng_.cycle, injected, ejected);
+  }
   if (cfg_.cancel != nullptr && ((steps_in_phase_ - 1) & 255) == 0 && cfg_.cancel->check()) {
     stats_.cancelled = true;
     stop_early(/*discard_partial_window=*/true);

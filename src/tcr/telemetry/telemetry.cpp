@@ -1,0 +1,307 @@
+#include "tcr/telemetry/telemetry.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+#include "tcr/guard/guard.hpp"
+#include "tcr/guard/journal.hpp"
+#include "tcr/obs/json.hpp"
+#include "tcr/obs/registry.hpp"
+#include "tcr/perf/perf.hpp"
+
+namespace tcr::telemetry {
+
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::int64_t wall_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// All session state. The atomics are the fields instrumented code updates
+/// from hot paths; everything else is touched only under `mu` (emission,
+/// start/stop) — see the thread-safety note in the header.
+struct Session {
+  std::mutex mu;
+  guard::JournalWriter writer;
+  std::string bench;
+  double interval_seconds = 0.5;
+  std::int64_t interval_ns = 0;
+  std::int64_t start_steady_ns = 0;
+  long seq = 0;
+  std::map<std::string, std::int64_t> last_counters;
+  std::map<std::string, double> last_gauges;
+
+  std::atomic<const guard::CancelToken*> token{nullptr};
+  std::atomic<std::int64_t> next_emit_ns{0};
+  std::atomic<const char*> phase{""};
+  std::atomic<bool> has_progress{false};
+  std::atomic<long> done{0}, total{0}, warm{0};
+  std::atomic<bool> has_sim{false};
+  std::atomic<long> sim_epoch{0}, sim_cycle{0}, sim_injected{0}, sim_ejected{0};
+  std::atomic<bool> has_solver{false};
+  std::atomic<long> solver_iters{0};
+  std::atomic<double> solver_obj{0.0};
+};
+
+Session& session() {
+  static Session s;
+  return s;
+}
+
+/// Counter delta since the previous heartbeat. The registry is reset
+/// between sweep points (bench JsonOutput), so a current value below the
+/// last one means "reset happened" — the post-reset value is the delta.
+std::int64_t counter_delta(std::int64_t cur, std::int64_t last) {
+  return cur >= last ? cur - last : cur;
+}
+
+/// Build one heartbeat payload. Caller holds s.mu.
+obs::Json build_heartbeat(Session& s, bool final_beat) {
+  obs::Json rec = obs::Json::object();
+  rec.set("kind", "heartbeat");
+  rec.set("seq", ++s.seq);
+  rec.set("uptime_ms", (steady_now_ns() - s.start_steady_ns) / 1'000'000);
+  rec.set("phase", std::string(s.phase.load(std::memory_order_relaxed)));
+  if (final_beat) rec.set("final", true);
+
+  obs::Json g = obs::Json::object();
+  const guard::CancelToken* token = s.token.load(std::memory_order_acquire);
+  g.set("cancelled", token != nullptr && token->cancelled());
+  g.set("stop_reason",
+        token != nullptr ? std::string(guard::to_string(token->reason())) : std::string("none"));
+  g.set("iterations", token != nullptr ? token->iterations_used() : 0);
+  // NaN serializes as null: "no deadline armed".
+  g.set("deadline_remaining_s",
+        token != nullptr ? token->deadline_remaining_seconds()
+                         : std::numeric_limits<double>::quiet_NaN());
+  g.set("rss_kb", perf::process_peak_rss_kb());
+  rec.set("guard", std::move(g));
+
+  if (s.has_progress.load(std::memory_order_acquire)) {
+    obs::Json p = obs::Json::object();
+    p.set("done", s.done.load(std::memory_order_relaxed));
+    p.set("total", s.total.load(std::memory_order_relaxed));
+    p.set("warm_adopted", s.warm.load(std::memory_order_relaxed));
+    rec.set("progress", std::move(p));
+  }
+  if (s.has_sim.load(std::memory_order_acquire)) {
+    obs::Json sim = obs::Json::object();
+    sim.set("epoch", s.sim_epoch.load(std::memory_order_relaxed));
+    sim.set("cycle", s.sim_cycle.load(std::memory_order_relaxed));
+    sim.set("injected", s.sim_injected.load(std::memory_order_relaxed));
+    sim.set("ejected", s.sim_ejected.load(std::memory_order_relaxed));
+    rec.set("sim", std::move(sim));
+  }
+  if (s.has_solver.load(std::memory_order_acquire)) {
+    obs::Json sol = obs::Json::object();
+    sol.set("iterations", s.solver_iters.load(std::memory_order_relaxed));
+    sol.set("objective", s.solver_obj.load(std::memory_order_relaxed));
+    rec.set("solver", std::move(sol));
+  }
+
+  // Obs registry deltas: counters as per-interval deltas (reset-aware),
+  // gauges as current values; both only when changed since the last beat,
+  // to keep records small. Timers/histograms ride in the benches' post-hoc
+  // --json snapshots instead.
+  const obs::Snapshot snap = obs::Registry::instance().snapshot();
+  obs::Json counters = obs::Json::object(), gauges = obs::Json::object();
+  for (const auto& [name, cur] : snap.counters) {
+    auto it = s.last_counters.find(name);
+    const std::int64_t last = it == s.last_counters.end() ? 0 : it->second;
+    const std::int64_t delta = counter_delta(cur, last);
+    if (delta != 0) counters.set(name, delta);
+    s.last_counters[name] = cur;
+  }
+  for (const auto& [name, cur] : snap.gauges) {
+    auto it = s.last_gauges.find(name);
+    const bool changed = it == s.last_gauges.end() ? cur != 0.0 : cur != it->second;
+    if (changed) gauges.set(name, cur);
+    s.last_gauges[name] = cur;
+  }
+  if (counters.size() > 0) rec.set("counters", std::move(counters));
+  if (gauges.size() > 0) rec.set("gauges", std::move(gauges));
+  return rec;
+}
+
+/// Serialize and append under the journal's crash-safe framing. Caller
+/// holds s.mu.
+void emit(Session& s, const obs::Json& rec) {
+  if (!s.writer.is_open()) return;
+  s.writer.append(rec.dump());
+}
+
+void emit_heartbeat_locked(Session& s, bool final_beat) {
+  emit(s, build_heartbeat(s, final_beat));
+}
+
+}  // namespace
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::Info: return "info";
+    case Severity::Warn: return "warn";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+void poll_slow() {
+  Session& s = session();
+  const std::int64_t now = steady_now_ns();
+  std::int64_t next = s.next_emit_ns.load(std::memory_order_relaxed);
+  if (now < next) return;
+  // Elect one emitter: whoever advances the deadline writes the beat.
+  if (!s.next_emit_ns.compare_exchange_strong(next, now + s.interval_ns,
+                                              std::memory_order_relaxed)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!g_enabled.load(std::memory_order_relaxed)) return;  // stop() raced us
+  emit_heartbeat_locked(s, /*final_beat=*/false);
+}
+
+void log_slow(Severity sev, const std::string& message) {
+  Session& s = session();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  obs::Json rec = obs::Json::object();
+  rec.set("kind", "event");
+  rec.set("seq", ++s.seq);
+  rec.set("uptime_ms", (steady_now_ns() - s.start_steady_ns) / 1'000'000);
+  rec.set("severity", to_string(sev));
+  rec.set("message", message);
+  rec.set("phase", std::string(s.phase.load(std::memory_order_relaxed)));
+  emit(s, rec);
+}
+
+void set_phase_slow(const char* phase) {
+  session().phase.store(phase == nullptr ? "" : phase, std::memory_order_relaxed);
+}
+
+void set_token_slow(const guard::CancelToken* token) {
+  session().token.store(token, std::memory_order_release);
+}
+
+void sweep_begin_slow(long total_points) {
+  Session& s = session();
+  s.done.store(0, std::memory_order_relaxed);
+  s.warm.store(0, std::memory_order_relaxed);
+  s.total.store(total_points, std::memory_order_relaxed);
+  s.has_progress.store(true, std::memory_order_release);
+}
+
+void sweep_point_done_slow(bool warm_adopted) {
+  Session& s = session();
+  s.done.fetch_add(1, std::memory_order_relaxed);
+  if (warm_adopted) s.warm.fetch_add(1, std::memory_order_relaxed);
+  poll_slow();
+}
+
+void sim_progress_slow(long epoch, long cycle, long injected, long ejected) {
+  Session& s = session();
+  s.sim_epoch.store(epoch, std::memory_order_relaxed);
+  s.sim_cycle.store(cycle, std::memory_order_relaxed);
+  s.sim_injected.store(injected, std::memory_order_relaxed);
+  s.sim_ejected.store(ejected, std::memory_order_relaxed);
+  s.has_sim.store(true, std::memory_order_release);
+  poll_slow();
+}
+
+void solver_progress_slow(long iterations, double objective) {
+  Session& s = session();
+  s.solver_iters.store(iterations, std::memory_order_relaxed);
+  s.solver_obj.store(objective, std::memory_order_relaxed);
+  s.has_solver.store(true, std::memory_order_release);
+}
+
+}  // namespace detail
+
+bool start(const HeartbeatConfig& cfg, std::string* error) {
+  Session& s = session();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (detail::g_enabled.load(std::memory_order_relaxed)) {
+    if (error != nullptr) *error = "telemetry session already active";
+    return false;
+  }
+  if (cfg.path.empty()) {
+    if (error != nullptr) *error = "heartbeat path is empty";
+    return false;
+  }
+  // One stream per run: drop any stale file so the meta record is always
+  // the first record (JournalWriter::open would otherwise append).
+  std::remove(cfg.path.c_str());
+  if (!s.writer.open(cfg.path, error)) return false;
+
+  s.bench = cfg.bench;
+  s.interval_seconds = cfg.interval_seconds < 0.0 ? 0.0 : cfg.interval_seconds;
+  s.interval_ns = static_cast<std::int64_t>(s.interval_seconds * 1e9);
+  s.start_steady_ns = steady_now_ns();
+  s.seq = 0;
+  s.last_counters.clear();
+  s.last_gauges.clear();
+  s.token.store(cfg.token, std::memory_order_release);
+  s.next_emit_ns.store(s.start_steady_ns + s.interval_ns, std::memory_order_relaxed);
+  s.phase.store("", std::memory_order_relaxed);
+  s.has_progress.store(false, std::memory_order_relaxed);
+  s.done.store(0, std::memory_order_relaxed);
+  s.total.store(0, std::memory_order_relaxed);
+  s.warm.store(0, std::memory_order_relaxed);
+  s.has_sim.store(false, std::memory_order_relaxed);
+  s.has_solver.store(false, std::memory_order_relaxed);
+
+  obs::Json meta = obs::Json::object();
+  meta.set("kind", "meta");
+  meta.set("schema", "tcr-heartbeat-v1");
+  meta.set("bench", s.bench);
+  meta.set("pid", static_cast<std::int64_t>(::getpid()));
+  meta.set("interval_seconds", s.interval_seconds);
+  meta.set("start_unix_ms", wall_now_ms());
+  emit(s, meta);
+  if (!s.writer.ok()) {
+    if (error != nullptr) *error = "failed to write heartbeat meta record";
+    s.writer.close();
+    return false;
+  }
+
+  detail::g_enabled.store(true, std::memory_order_release);
+  return true;
+}
+
+void stop() {
+  Session& s = session();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!detail::g_enabled.load(std::memory_order_relaxed)) return;
+  emit_heartbeat_locked(s, /*final_beat=*/true);
+  detail::g_enabled.store(false, std::memory_order_release);
+  s.writer.close();
+  s.token.store(nullptr, std::memory_order_release);
+}
+
+bool active() { return enabled(); }
+
+void heartbeat_now() {
+  Session& s = session();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!detail::g_enabled.load(std::memory_order_relaxed)) return;
+  emit_heartbeat_locked(s, /*final_beat=*/false);
+}
+
+}  // namespace tcr::telemetry

@@ -1,0 +1,154 @@
+// tcr::telemetry — cooperative in-flight heartbeats for long runs.
+//
+// Every post-hoc surface we have (obs snapshots, trace files, perf records,
+// repro reports) answers "what happened" after a run exits. This layer
+// answers "what is happening": while a bench, sweep, or simulation runs it
+// periodically appends **heartbeat records** — obs registry deltas, guard
+// budget state (deadline remaining, iterations charged, peak RSS), sweep
+// progress (points done/total, warm-start adoption), simulator progress
+// (epoch, cycle, flit counts) — plus severity-tagged log events into an
+// append-only stream a separate process (`tcr-top`) can tail live.
+//
+// Stream format: the `tcr::guard` journal framing ([u32 len][u32 crc32]
+// [payload], 8-byte "TCRJNL01" magic, fsync per append) so a kill at any
+// point leaves a valid prefix plus at most one torn record; payloads are
+// single-line JSON objects (obs::Json). telemetry/stream.hpp reads it back
+// incrementally with the same torn-tail tolerance.
+//
+// Determinism contract: sampling is *cooperative* — instrumented code calls
+// poll() at sites it already passes deterministically (the simplex
+// iteration safepoint, sweep point boundaries, the simulator's epoch-bucket
+// cancel cadence). A poll only *reads* run state and writes to the stream;
+// nothing downstream of the numerics ever reads telemetry state, so
+// --heartbeat cannot perturb bitwise results — it can only change wall
+// time. Pinned by Telemetry.SweepHeartbeatBitwiseDeterministic and the
+// heartbeat column of test_sim_parallel's determinism matrix.
+//
+// Disabled cost: every entry point is an inline relaxed atomic load of one
+// flag (pinned by BM_TelemetryPollDisabled under the CI overhead-ratio
+// guard). When enabled, at most one caller per interval takes the slow
+// path (a CAS on the next-emit deadline elects the emitter).
+//
+// Thread-safety: all entry points may be called concurrently from sweep
+// pool workers; emission serializes on an internal mutex and the journal
+// writer's own lock. start()/stop() are not safe to race with each other.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+namespace tcr::guard {
+class CancelToken;
+}
+
+namespace tcr::telemetry {
+
+/// Severity tag for structured log events.
+enum class Severity : int { Info = 0, Warn = 1, Error = 2 };
+
+const char* to_string(Severity s);
+
+/// One heartbeat session per process (mirrors the obs::Registry and
+/// SignalGuard singletons benches already rely on).
+struct HeartbeatConfig {
+  std::string path;               ///< stream file; recreated (not appended)
+  /// Minimum seconds between heartbeat records; 0 emits at every
+  /// cooperative poll site (maximal pressure — the determinism tests).
+  double interval_seconds = 0.5;
+  std::string bench;              ///< label stamped into the meta record
+  /// Optional run token: heartbeats report its budget state, and a final
+  /// heartbeat carries its stop reason. Must outlive the session.
+  const guard::CancelToken* token = nullptr;
+};
+
+/// Open the stream, write the meta record, and enable the hot-path flag.
+/// Fails (false + *error) when a session is already active or the file
+/// cannot be created.
+bool start(const HeartbeatConfig& cfg, std::string* error);
+
+/// Emit a final heartbeat (marked "final": true), close the stream, and
+/// disable the hot path. No-op when inactive.
+void stop();
+
+/// Is a session active? (Query form of the hot-path flag.)
+bool active();
+
+/// Force-emit a heartbeat now, ignoring the interval pacing. Used by stop()
+/// and by tests that cannot wait out an interval. No-op when disabled.
+void heartbeat_now();
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+void poll_slow();
+void log_slow(Severity s, const std::string& message);
+void set_phase_slow(const char* phase);
+void set_token_slow(const guard::CancelToken* token);
+void sweep_begin_slow(long total_points);
+void sweep_point_done_slow(bool warm_adopted);
+void sim_progress_slow(long epoch, long cycle, long injected, long ejected);
+void solver_progress_slow(long iterations, double objective);
+}  // namespace detail
+
+/// The one-relaxed-load disabled path every other entry point hides behind.
+inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Cooperative sampling site: emits a heartbeat iff the interval has
+/// elapsed since the last one (one thread wins the emission; the rest
+/// return after a clock read and a failed CAS).
+inline void poll() {
+  if (!enabled()) return;
+  detail::poll_slow();
+}
+
+/// Append a severity-tagged event record immediately (not interval-paced).
+inline void log(Severity s, const std::string& message) {
+  if (!enabled()) return;
+  detail::log_slow(s, message);
+}
+
+/// Name the current run phase ("sweep", "sim.measure", ...). `phase` must
+/// have static storage duration — only the pointer is stored.
+inline void set_phase(const char* phase) {
+  if (!enabled()) return;
+  detail::set_phase_slow(phase);
+}
+
+/// (Re)point heartbeats at a run token (e.g. after RunControl arms one
+/// later than telemetry started). Pass nullptr to detach.
+inline void set_token(const guard::CancelToken* token) {
+  if (!enabled()) return;
+  detail::set_token_slow(token);
+}
+
+/// A sweep of `total_points` points is starting; resets done/warm counts.
+inline void sweep_begin(long total_points) {
+  if (!enabled()) return;
+  detail::sweep_begin_slow(total_points);
+}
+
+/// One sweep point reached a terminal (non-cancelled) state — the same
+/// condition under which the checkpoint journal gets its record, so a
+/// reader can equate progress.done with the journal record count. Also
+/// polls.
+inline void sweep_point_done(bool warm_adopted) {
+  if (!enabled()) return;
+  detail::sweep_point_done_slow(warm_adopted);
+}
+
+/// Simulator progress at an epoch/cancel boundary. Also polls.
+inline void sim_progress(long epoch, long cycle, long injected, long ejected) {
+  if (!enabled()) return;
+  detail::sim_progress_slow(epoch, cycle, injected, ejected);
+}
+
+/// Solver progress from inside a solve (per-solve iteration count and
+/// current objective); feeds the inspector's convergence-stall detector.
+/// Does not poll — the simplex safepoint polls separately.
+inline void solver_progress(long iterations, double objective) {
+  if (!enabled()) return;
+  detail::solver_progress_slow(iterations, objective);
+}
+
+}  // namespace tcr::telemetry

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# e2e crash-telemetry gate (tcr::telemetry): kill a --heartbeat sweep
+# mid-run, then assert that
+#   1. tcr-top --json parses the stream a dead process left behind, and its
+#      last progress.done equals the checkpoint-journal record count (the
+#      progress ticks mirror the journal-append condition exactly);
+#   2. a stream truncated mid-record (the kill-during-append case) still
+#      parses, with truncated_tail reported instead of a hard error.
+#
+# Usage: telemetry_kill_top.sh <bench_fig1_binary> <tcr_top_binary> <workdir>
+set -u
+
+bench="$1"
+top="$2"
+work="$3"
+stall="${TCR_E2E_STALL_MS:-300}"
+delay="${TCR_E2E_KILL_DELAY:-1.5}"
+rm -rf "$work"
+mkdir -p "$work"
+
+# 1. Stalled sweep with heartbeat + checkpoint journal; SIGTERM mid-run.
+TCR_FAULT_STALL_MS="$stall" $bench --k 4 --points 5 --warm \
+  --heartbeat "$work/run.hb" --heartbeat-interval 0.05 \
+  --checkpoint "$work/run.jnl" >"$work/bench.log" 2>&1 &
+pid=$!
+sleep "$delay"
+kill -TERM "$pid" 2>/dev/null || true
+wait "$pid"
+status=$?
+if [ "$status" -ne 7 ]; then
+  echo "killed run exited $status, want 7 (partial; did the kill land too late?)"
+  cat "$work/bench.log"
+  exit 1
+fi
+
+# 2. The inspector must parse the dead run's stream, and its progress must
+#    agree with the checkpoint journal record-for-record.
+"$top" --json "$work/run.hb" >"$work/state.json" 2>"$work/top.err"
+if [ $? -ne 0 ]; then
+  echo "tcr-top --json failed on the killed run's stream"
+  cat "$work/top.err"
+  exit 1
+fi
+python3 - "$work/state.json" "$work/run.jnl" <<'EOF'
+import json, struct, sys
+
+state = json.load(open(sys.argv[1]))
+assert state["cancelled"], "killed run's last heartbeat must be cancelled"
+done = state["progress"]["done"]
+
+# Count complete records in the checkpoint journal ([len][crc32][payload]
+# frames after an 8-byte magic; a torn final frame does not count).
+raw = open(sys.argv[2], "rb").read()
+assert raw[:8] == b"TCRJNL01", "bad journal magic"
+pos, records = 8, 0
+while len(raw) - pos >= 8:
+    (length,) = struct.unpack_from("<I", raw, pos)
+    if len(raw) - pos - 8 < length:
+        break
+    pos += 8 + length
+    records += 1
+
+assert done == records, f"progress.done {done} != journal records {records}"
+print(f"progress.done {done} == journal records {records}")
+EOF
+if [ $? -ne 0 ]; then
+  echo "state/journal agreement check failed"
+  cat "$work/state.json"
+  exit 1
+fi
+
+# 3. Tear the stream mid-record (cut the last 5 bytes): must still parse,
+#    reporting truncation rather than erroring out.
+size=$(wc -c <"$work/run.hb")
+head -c "$((size - 5))" "$work/run.hb" >"$work/torn.hb"
+"$top" --json "$work/torn.hb" >"$work/torn.json" 2>"$work/torn.err"
+if [ $? -ne 0 ]; then
+  echo "tcr-top --json failed on the torn stream"
+  cat "$work/torn.err"
+  exit 1
+fi
+if ! grep -q '"truncated_tail":true' "$work/torn.json"; then
+  echo "torn stream not reported as truncated:"
+  cat "$work/torn.json"
+  exit 1
+fi
+if ! "$top" "$work/torn.hb" | grep -q "stream truncated (crash?)"; then
+  echo "table render missing the truncation note"
+  "$top" "$work/torn.hb"
+  exit 1
+fi
+
+echo "kill top e2e OK: torn stream parsed, truncation reported, progress matches journal"

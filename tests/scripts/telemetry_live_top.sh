@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# e2e live-telemetry gate (tcr::telemetry): a real sweep run with
+# --heartbeat must produce a stream that tcr-top --follow can tail WHILE
+# THE RUN IS STILL IN FLIGHT, rendering a live progress table with the
+# phase and sweep-point progress. Stall injection slows the solver so the
+# run is reliably mid-flight when the inspector attaches.
+#
+# Usage: telemetry_live_top.sh <bench_fig1_binary> <tcr_top_binary> <workdir>
+set -u
+
+bench="$1"
+top="$2"
+work="$3"
+stall="${TCR_E2E_STALL_MS:-300}"
+rm -rf "$work"
+mkdir -p "$work"
+
+# 1. Start a stalled sweep with a fast heartbeat in the background.
+TCR_FAULT_STALL_MS="$stall" $bench --k 4 --points 5 --warm \
+  --heartbeat "$work/run.hb" --heartbeat-interval 0.05 \
+  >"$work/bench.log" 2>&1 &
+pid=$!
+
+# 2. Attach tcr-top mid-run: follow until two fresh beats rendered.
+"$top" --follow --interval 0.05 --max-beats 2 --timeout 30 "$work/run.hb" \
+  >"$work/top.log" 2>&1
+status=$?
+
+# Whatever happened, don't leave the stalled bench running.
+kill -TERM "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+
+if [ "$status" -ne 0 ]; then
+  echo "tcr-top --follow exited $status, want 0"
+  cat "$work/top.log"
+  exit 1
+fi
+# The render must carry live run identity and sweep progress.
+if ! grep -q "fig1_wc_tradeoff" "$work/top.log"; then
+  echo "tcr-top output names no bench:"
+  cat "$work/top.log"
+  exit 1
+fi
+if ! grep -q "\[live\]" "$work/top.log"; then
+  echo "tcr-top output has no [live] marker:"
+  cat "$work/top.log"
+  exit 1
+fi
+if ! grep -q "phase" "$work/top.log" || ! grep -Eq "points +\| +[0-9]+/5" "$work/top.log"; then
+  echo "tcr-top output has no progress table:"
+  cat "$work/top.log"
+  exit 1
+fi
+
+echo "live top e2e OK: rendered live progress from a mid-run heartbeat stream"

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <cstring>
 #include <limits>
+#include <random>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -98,6 +99,61 @@ TEST(Histogram, BucketBoundaries) {
   h.record(2.6);
   EXPECT_EQ(h.bucket_count(1), 1);
   EXPECT_EQ(h.bucket_count(2), 2);
+}
+
+// The precomputed boundary table behind bucket_index must reproduce the
+// original `1 + floor(log(v/least) / log(growth))` mapping bit-for-bit —
+// the simulator's golden latency percentiles ride on the exact bucket of
+// every sample. Sweeps every geometry the codebase registers, hammering
+// the flip-point neighborhoods where a log-based table would be off by
+// one ulp. Restricted to finite v/least: the old formula's behavior on an
+// overflowing quotient was UB (log(inf)), not part of the contract —
+// the table saturates those into the top bucket as documented.
+TEST(Histogram, BucketIndexMatchesLogFormula) {
+  const std::pair<double, double> geometries[] = {
+      {1e-9, 2.0},  // default
+      {1.0, 1.2},   // sim latency
+      {1e-3, 1.1},  // injection/accepted rates
+      {1e-3, 1.3},  // buffer occupancy
+  };
+  std::mt19937_64 rng(20260808);
+  for (const auto& [least, growth] : geometries) {
+    const Histogram h(least, growth);
+    const double inv_log_growth = 1.0 / std::log(growth);
+    const auto reference = [&](double v) {
+      if (!(v >= least)) return 0;
+      const int idx = 1 + static_cast<int>(std::floor(std::log(v / least) * inv_log_growth));
+      return std::clamp(idx, 1, Histogram::kNumBuckets - 1);
+    };
+    const auto check = [&](double v) {
+      if (!std::isfinite(v / least)) return;
+      ASSERT_EQ(h.bucket_index(v), reference(v))
+          << "least=" << least << " growth=" << growth << " v=" << v;
+    };
+
+    // Every flip point, plus its ulp neighborhood on both sides.
+    for (int k = 0; k < Histogram::kNumBuckets; ++k) {
+      double b = h.bucket_lower(k);
+      check(b);
+      double lo = b, hi = b;
+      for (int step = 0; step < 4; ++step) {
+        lo = std::nextafter(lo, 0.0);
+        hi = std::nextafter(hi, std::numeric_limits<double>::infinity());
+        check(lo);
+        check(hi);
+      }
+    }
+    // Log-uniform fill across (and beyond) the bucket range, zero, sub-least
+    // values and the saturating far tail.
+    std::uniform_real_distribution<double> exp_dist(-2.0, 100.0);
+    for (int i = 0; i < 200000; ++i) {
+      check(least * std::pow(growth, exp_dist(rng)));
+    }
+    check(0.0);
+    check(least * 0.5);
+    check(std::numeric_limits<double>::quiet_NaN());
+    check(least * 1e30);
+  }
 }
 
 TEST(Histogram, SumMeanMinMaxExact) {

@@ -7,11 +7,15 @@
 // run would over the same full-window prefix.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "tcr/fault/fault.hpp"
 #include "tcr/guard/guard.hpp"
+#include "tcr/guard/journal.hpp"
+#include "tcr/telemetry/telemetry.hpp"
 #include "tcr/metrics/worst_case.hpp"
 #include "tcr/routing/dor.hpp"
 #include "tcr/sim/simulator.hpp"
@@ -260,6 +264,48 @@ TEST(WindowAccounting, CancelMidWindowMatchesUninterruptedPrefix) {
       static_cast<double>(t.num_nodes()) * static_cast<double>(cut.measured_cycles);
   EXPECT_EQ(cut.offered_rate, static_cast<double>(injected) / node_cycles);
   EXPECT_EQ(cut.accepted_rate, static_cast<double>(ejected) / node_cycles);
+}
+
+// Heartbeat column of the determinism matrix: simulating under an active
+// telemetry session — at interval 0, so every epoch-cadence site actually
+// emits — must leave every statistic bitwise identical, serial and sharded.
+// A heartbeat only *reads* simulator state; nothing downstream of the
+// numerics reads telemetry state (the tcr::telemetry determinism contract).
+TEST(ShardMatrix, HeartbeatOnNeverChangesAnyStatistic) {
+  const Torus t(4);
+  const TorusRouting dor = make_dor(t);
+  dor.load_table();
+  const std::vector<std::pair<std::string, std::vector<int>>> patterns = {
+      {"uniform", {}},
+      {"worst-case", worst_case(dor).permutation},
+  };
+  for (const auto& [name, perm] : patterns) {
+    SimConfig cfg = matrix_config();
+    const SimStats base = simulate(dor, 0.45, perm, cfg);
+    ASSERT_GT(base.ejected, 0) << name;
+
+    const std::string hb = ::testing::TempDir() + "sim_parallel_" + name + ".hb";
+    std::remove(hb.c_str());
+    telemetry::HeartbeatConfig tcfg;
+    tcfg.path = hb;
+    tcfg.interval_seconds = 0.0;
+    tcfg.bench = "sim_matrix";
+    std::string error;
+    ASSERT_TRUE(telemetry::start(tcfg, &error)) << error;
+    const SimStats serial_hb = simulate(dor, 0.45, perm, cfg);
+    cfg.shards = 4;
+    const SimStats sharded_hb = simulate(dor, 0.45, perm, cfg);
+    telemetry::stop();
+
+    expect_same_stats(base, serial_hb, name + " heartbeat-on serial");
+    expect_same_stats(base, sharded_hb, name + " heartbeat-on shards=4");
+
+    // The session really sampled the runs: the stream must carry sim
+    // progress records for the measure phase.
+    const guard::JournalContents contents = guard::read_journal(hb);
+    ASSERT_TRUE(contents.ok) << contents.error;
+    EXPECT_GT(contents.records.size(), 2u) << name;
+  }
 }
 
 }  // namespace

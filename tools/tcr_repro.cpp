@@ -45,6 +45,10 @@
 //                       a hardware-counter/rusage perf block; the resulting
 //                       .jsonl files are ingestible with `tcr-perf append`;
 //                       does not affect the series values or the gate
+//   --heartbeat         forward --heartbeat <out>/<bench>.hb to every bench:
+//                       each run emits a live telemetry stream watchable with
+//                       `tcr-top --follow`; cooperative sampling, so records
+//                       and the gate are unaffected
 //   --list              print the presets and their bench command lines
 //
 // Exit codes:
@@ -154,7 +158,7 @@ std::string shell_quote(const std::string& s) {
 /// <out>/<bench>.jsonl. Returns the bench's exit code (-1: could not run).
 int run_bench(const fs::path& bench_dir, const BenchSpec& spec,
               const std::vector<std::string>& overrides, const fs::path& out_dir,
-              bool with_trace, bool with_perf) {
+              bool with_trace, bool with_perf, bool with_heartbeat) {
   const fs::path binary = bench_dir / ("bench_" + spec.bench);
   std::string cmd = shell_quote(binary.string());
   // Appends are two-step (no `+= a + b` temporaries): GCC 12's -Wrestrict
@@ -174,6 +178,10 @@ int run_bench(const fs::path& bench_dir, const BenchSpec& spec,
     cmd += shell_quote((out_dir / (spec.bench + ".trace.json")).string());
   }
   if (with_perf) cmd += " --perf";
+  if (with_heartbeat) {
+    cmd += " --heartbeat ";
+    cmd += shell_quote((out_dir / (spec.bench + ".hb")).string());
+  }
   cmd += " > " + shell_quote((out_dir / (spec.bench + ".txt")).string()) + " 2>&1";
   const int status = std::system(cmd.c_str());
   if (status == -1) return -1;
@@ -343,7 +351,8 @@ int main(int argc, char** argv) {
       }
       std::cout << "running bench_" << spec.bench << " ..." << std::flush;
       outcome.exit_code =
-          run_bench(bench_dir, spec, overrides, out_dir, cli.has("trace"), cli.has("perf"));
+          run_bench(bench_dir, spec, overrides, out_dir, cli.has("trace"), cli.has("perf"),
+                    cli.has("heartbeat"));
       if (outcome.exit_code == kBenchExitPartial) {
         outcome.partial = true;
         std::cout << " partial (run control)\n";
